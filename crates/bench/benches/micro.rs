@@ -1,0 +1,154 @@
+//! Micro-benchmarks of the hot paths: tangle analysis, tip selection,
+//! parameter aggregation, the wire codec, and training steps.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use tangle_ledger::analysis::{cumulative_weights, ratings, TangleAnalysis};
+use tangle_ledger::walk::RandomWalk;
+use tangle_ledger::Tangle;
+use tinynn::rng::seeded;
+use tinynn::{ParamVec, Tensor};
+
+/// A synthetic tangle shaped like a learning run: `rounds` layers of
+/// `width` transactions, each approving two random current tips.
+fn synthetic_tangle(rounds: usize, width: usize) -> Tangle<u32> {
+    let mut t = Tangle::new(0u32);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    use rand::RngExt;
+    for r in 0..rounds {
+        let tips = t.tips();
+        for w in 0..width {
+            let a = tips[rng.random_range(0..tips.len())];
+            let b = tips[rng.random_range(0..tips.len())];
+            t.add((r * width + w) as u32, vec![a, b]).unwrap();
+        }
+    }
+    t
+}
+
+fn bench_tangle_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tangle_analysis");
+    for (rounds, width) in [(20, 10), (50, 35)] {
+        let t = synthetic_tangle(rounds, width);
+        let n = t.len();
+        g.bench_function(format!("cumulative_weights_{n}tx"), |b| {
+            b.iter(|| black_box(cumulative_weights(&t)))
+        });
+        g.bench_function(format!("ratings_{n}tx"), |b| {
+            b.iter(|| black_box(ratings(&t)))
+        });
+        let analysis = TangleAnalysis::compute(&t);
+        let walk = RandomWalk::default();
+        g.bench_function(format!("walk_confidence_35samples_{n}tx"), |b| {
+            b.iter(|| black_box(analysis.walk_confidence(&t, &walk, 35, 7)))
+        });
+        g.bench_function(format!("tip_selection_walk_{n}tx"), |b| {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+            b.iter(|| {
+                black_box(walk.select_tip_with_weights(&t, &analysis.cumulative_weight, &mut rng))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_param_aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("param_aggregation");
+    for dim in [10_000usize, 100_000] {
+        let vs: Vec<ParamVec> = (0..10)
+            .map(|i| ParamVec(vec![i as f32 * 0.1; dim]))
+            .collect();
+        let refs: Vec<&ParamVec> = vs.iter().collect();
+        g.bench_function(format!("average_10x{dim}"), |b| {
+            b.iter(|| black_box(ParamVec::average(&refs)))
+        });
+        let weights = vec![1.0f32; 10];
+        g.bench_function(format!("weighted_average_10x{dim}"), |b| {
+            b.iter(|| black_box(ParamVec::weighted_average(&refs, &weights)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    let p = ParamVec((0..50_000).map(|i| i as f32).collect());
+    g.bench_function("encode_50k", |b| {
+        b.iter(|| black_box(tinynn::wire::encode(&p)))
+    });
+    let enc = tinynn::wire::encode(&p);
+    g.bench_function("decode_50k", |b| {
+        b.iter(|| black_box(tinynn::wire::decode(&enc).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut g = c.benchmark_group("training");
+    g.sample_size(20);
+    // CNN train step at experiment scale
+    let mut rng = seeded(1);
+    let cnn = tinynn::zoo::femnist_cnn(16, 10, tinynn::zoo::CnnConfig::scaled(), &mut rng);
+    let x = Tensor::from_fn(&[16, 1, 16, 16], |i| ((i * 31 % 97) as f32) / 97.0);
+    let y: Vec<u32> = (0..16).map(|i| (i % 10) as u32).collect();
+    g.bench_function("cnn_loss_and_grads_b16", |b| {
+        b.iter(|| black_box(cnn.loss_and_grads(&x, &y)))
+    });
+    g.bench_function("cnn_loss_and_grads_parallel_b16", |b| {
+        b.iter(|| black_box(cnn.loss_and_grads_parallel(&x, &y, 4)))
+    });
+    // LSTM train step
+    let lstm = tinynn::zoo::char_lstm(30, 8, 32, 2, &mut rng);
+    let xs = Tensor::from_fn(&[8, 16], |i| (i % 30) as f32);
+    let ys: Vec<u32> = (0..8 * 16).map(|i| (i % 30) as u32).collect();
+    g.bench_function("lstm_loss_and_grads_b8xT16", |b| {
+        b.iter(|| black_box(lstm.loss_and_grads(&xs, &ys)))
+    });
+    g.finish();
+}
+
+fn bench_pow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("proof_of_work");
+    g.sample_size(20);
+    let payload = tangle_ledger::pow::digest(b"model payload");
+    for difficulty in [8u32, 12] {
+        g.bench_function(format!("solve_d{difficulty}"), |b| {
+            let mut i = 0u64;
+            b.iter_batched(
+                || {
+                    i += 1;
+                    payload ^ i
+                },
+                |p| black_box(tangle_ledger::pow::solve(p, difficulty)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataset_generation");
+    g.sample_size(10);
+    let fcfg = feddata::femnist::FemnistConfig::scaled();
+    g.bench_function("femnist_scaled_100users", |b| {
+        b.iter(|| black_box(feddata::femnist::generate(&fcfg, 1)))
+    });
+    let scfg = feddata::shakespeare::ShakespeareConfig::scaled();
+    g.bench_function("shakespeare_scaled_60users", |b| {
+        b.iter(|| black_box(feddata::shakespeare::generate(&scfg, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tangle_analysis,
+    bench_param_aggregation,
+    bench_wire_codec,
+    bench_training,
+    bench_pow,
+    bench_dataset_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! Asynchronous (round-free) simulation.
+//!
+//! The tangle needs no rounds — the paper only introduces them to compare
+//! against FedAvg (§IV) and names a "distributed implementation ...
+//! benchmarked in a simulation environment" as future work (§VI). This
+//! module provides that: worker threads independently pick nodes, snapshot
+//! the shared ledger, run Algorithm 2 against their snapshot, and publish
+//! through a write lock — so nodes genuinely act on *stale* views, like
+//! real network participants.
+
+use crate::config::SimConfig;
+use crate::node::RoundContext;
+use crate::node::{node_step, ModelParams, Node};
+use crossbeam::channel;
+use parking_lot::RwLock;
+use rand::RngExt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tangle_ledger::Tangle;
+use tinynn::rng::{derive, seeded};
+use tinynn::{ParamVec, Sequential};
+
+/// One publication event, as observed on the asynchronous network.
+#[derive(Clone, Copy, Debug)]
+pub struct PublishEvent {
+    /// Worker thread that processed the step.
+    pub worker: usize,
+    /// Node that published.
+    pub node: usize,
+    /// Ledger size right after the publication.
+    pub tangle_len: usize,
+    /// Size of the snapshot the node acted on (staleness =
+    /// `tangle_len − snapshot_len − 1`).
+    pub snapshot_len: usize,
+}
+
+/// Result of an asynchronous run.
+pub struct AsyncRun {
+    /// The final ledger.
+    pub tangle: Tangle<ModelParams>,
+    /// All publications in commit order.
+    pub events: Vec<PublishEvent>,
+    /// Steps whose publish gate rejected the trained model.
+    pub discarded: usize,
+}
+
+/// Run `workers` concurrent participants until the ledger holds at least
+/// `target_transactions` transactions (including the genesis).
+///
+/// Node behaviour activation (`from_round`) is interpreted against the
+/// *snapshot length* rather than a round number. With `workers == 1` the
+/// run is fully deterministic for a given seed.
+pub fn run_async(
+    nodes: &[Node],
+    cfg: &SimConfig,
+    build: impl Fn() -> Sequential + Sync,
+    workers: usize,
+    target_transactions: usize,
+) -> AsyncRun {
+    assert!(workers >= 1, "need at least one worker");
+    let genesis = Arc::new(ParamVec::from_model(&build()));
+    let ledger = RwLock::new(Tangle::new(genesis));
+    let done = AtomicBool::new(false);
+    let (tx_events, rx_events) = channel::unbounded::<PublishEvent>();
+    let (tx_disc, rx_disc) = channel::unbounded::<()>();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let ledger = &ledger;
+            let done = &done;
+            let build = &build;
+            let tx_events = tx_events.clone();
+            let tx_disc = tx_disc.clone();
+            scope.spawn(move || {
+                let mut rng = seeded(derive(cfg.seed, 0xA11C ^ w as u64));
+                let mut step = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    step += 1;
+                    let ni = rng.random_range(0..nodes.len());
+                    // Snapshot under a read lock, then work lock-free.
+                    let snapshot = ledger.read().clone();
+                    let snapshot_len = snapshot.len();
+                    let vround = snapshot_len as u64;
+                    let ctx = RoundContext::build(
+                        &snapshot,
+                        cfg,
+                        vround,
+                        derive(cfg.seed, (w as u64) << 40 | step),
+                    );
+                    let mut node_rng = seeded(derive(
+                        cfg.seed,
+                        ((w as u64) << 48) ^ (step << 8) ^ ni as u64,
+                    ));
+                    let out = node_step(&nodes[ni], &ctx, build, cfg, &mut node_rng);
+                    match out.publish {
+                        Some(p) => {
+                            let mut guard = ledger.write();
+                            // Parents exist in the snapshot, which is a
+                            // prefix of the live ledger (append-only).
+                            guard
+                                .add_meta(Arc::new(p.params), p.parents, ni as u64, vround)
+                                .expect("snapshot is a prefix of the ledger");
+                            let len = guard.len();
+                            drop(guard);
+                            let _ = tx_events.send(PublishEvent {
+                                worker: w,
+                                node: ni,
+                                tangle_len: len,
+                                snapshot_len,
+                            });
+                            if len >= target_transactions {
+                                done.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        None => {
+                            let _ = tx_disc.send(());
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx_events);
+        drop(tx_disc);
+    });
+
+    let events: Vec<PublishEvent> = rx_events.try_iter().collect();
+    let discarded = rx_disc.try_iter().count();
+    AsyncRun {
+        tangle: ledger.into_inner(),
+        events,
+        discarded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TangleHyperParams;
+    use feddata::blobs::{self, BlobsConfig};
+    use tinynn::rng::seeded as tseed;
+
+    fn nodes() -> Vec<Node> {
+        let ds = blobs::generate(
+            &BlobsConfig {
+                users: 8,
+                samples_per_user: (24, 30),
+                noise_std: 0.6,
+                ..BlobsConfig::default()
+            },
+            13,
+        );
+        ds.clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| Node::honest(i, c))
+            .collect()
+    }
+
+    fn build() -> Sequential {
+        tinynn::zoo::mlp(8, &[12], 4, &mut tseed(5))
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            nodes_per_round: 4,
+            lr: 0.15,
+            batch_size: 8,
+            seed: 21,
+            hyper: TangleHyperParams {
+                confidence_samples: 6,
+                ..TangleHyperParams::basic()
+            },
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_worker_reaches_target_deterministically() {
+        let ns = nodes();
+        let a = run_async(&ns, &cfg(), build, 1, 12);
+        let b = run_async(&ns, &cfg(), build, 1, 12);
+        assert!(a.tangle.len() >= 12);
+        assert_eq!(a.tangle.len(), b.tangle.len());
+        assert_eq!(a.events.len(), b.events.len());
+        // commit order identical under one worker
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.node, y.node);
+            assert_eq!(x.tangle_len, y.tangle_len);
+        }
+    }
+
+    #[test]
+    fn multi_worker_reaches_target() {
+        let ns = nodes();
+        let run = run_async(&ns, &cfg(), build, 3, 15);
+        assert!(run.tangle.len() >= 15);
+        // every event recorded a consistent snapshot
+        for e in &run.events {
+            assert!(e.snapshot_len < e.tangle_len);
+        }
+    }
+
+    #[test]
+    fn events_track_all_publications() {
+        let ns = nodes();
+        let run = run_async(&ns, &cfg(), build, 2, 10);
+        // genesis + events = ledger size (no other writer exists)
+        assert_eq!(run.events.len() + 1, run.tangle.len());
+    }
+}

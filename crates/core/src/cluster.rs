@@ -1,0 +1,152 @@
+//! Sub-tangle clustering analysis (paper §VI outlook).
+//!
+//! The paper suggests that biasing the random walk by local model
+//! performance "could lead to clusters of federated nodes with similar
+//! data working on separate sub-tangles". This module quantifies that
+//! effect: given an assignment of nodes to data clusters, it measures how
+//! strongly approval edges stay within clusters (*homophily*) compared to
+//! what random mixing would produce.
+
+use crate::node::ModelParams;
+use tangle_ledger::Tangle;
+
+/// Homophily statistics of a ledger under a node→cluster assignment.
+#[derive(Clone, Copy, Debug)]
+pub struct Homophily {
+    /// Fraction of (issuer, parent-issuer) approval edges whose endpoints
+    /// share a cluster. Edges touching the genesis (no issuer) are skipped.
+    pub observed: f32,
+    /// Expected same-cluster fraction if parents were chosen independently
+    /// of clusters (computed from the per-cluster transaction mass).
+    pub expected: f32,
+    /// Number of edges counted.
+    pub edges: usize,
+}
+
+impl Homophily {
+    /// `observed − expected`: > 0 means sub-tangle formation.
+    pub fn lift(&self) -> f32 {
+        self.observed - self.expected
+    }
+}
+
+/// Measure approval homophily. `cluster_of[node_id]` assigns every node to
+/// a cluster; transactions with unknown issuers (the genesis) are ignored.
+pub fn edge_homophily(tangle: &Tangle<ModelParams>, cluster_of: &[usize]) -> Homophily {
+    let issuer_cluster = |issuer: u64| -> Option<usize> {
+        let i = issuer as usize;
+        if issuer == u64::MAX || i >= cluster_of.len() {
+            None
+        } else {
+            Some(cluster_of[i])
+        }
+    };
+    let mut same = 0usize;
+    let mut edges = 0usize;
+    // Per-cluster transaction mass, for the null model.
+    let num_clusters = cluster_of.iter().copied().max().map_or(0, |m| m + 1);
+    let mut mass = vec![0usize; num_clusters];
+    let mut mass_total = 0usize;
+    for tx in tangle.transactions() {
+        if let Some(c) = issuer_cluster(tx.issuer) {
+            mass[c] += 1;
+            mass_total += 1;
+        }
+    }
+    for tx in tangle.transactions() {
+        let Some(child_cluster) = issuer_cluster(tx.issuer) else {
+            continue;
+        };
+        for p in &tx.parents {
+            let Some(parent_cluster) = issuer_cluster(tangle.get(*p).issuer) else {
+                continue;
+            };
+            edges += 1;
+            if child_cluster == parent_cluster {
+                same += 1;
+            }
+        }
+    }
+    let expected = if mass_total == 0 {
+        0.0
+    } else {
+        mass.iter()
+            .map(|&m| {
+                let f = m as f32 / mass_total as f32;
+                f * f
+            })
+            .sum::<f32>()
+    };
+    Homophily {
+        observed: if edges == 0 {
+            0.0
+        } else {
+            same as f32 / edges as f32
+        },
+        expected,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tinynn::ParamVec;
+
+    fn payload() -> ModelParams {
+        Arc::new(ParamVec(vec![0.0]))
+    }
+
+    /// Build a tangle where issuers 0,1 (cluster 0) only approve each
+    /// other, likewise 2,3 (cluster 1).
+    fn segregated() -> Tangle<ModelParams> {
+        let mut t = Tangle::new(payload());
+        let g = t.genesis();
+        let a = t.add_meta(payload(), vec![g], 0, 1).unwrap();
+        let b = t.add_meta(payload(), vec![a], 1, 2).unwrap();
+        let _ = t.add_meta(payload(), vec![b], 0, 3).unwrap();
+        let c = t.add_meta(payload(), vec![g], 2, 1).unwrap();
+        let d = t.add_meta(payload(), vec![c], 3, 2).unwrap();
+        let _ = t.add_meta(payload(), vec![d], 2, 3).unwrap();
+        t
+    }
+
+    #[test]
+    fn perfect_segregation_has_high_lift() {
+        let t = segregated();
+        let h = edge_homophily(&t, &[0, 0, 1, 1]);
+        assert_eq!(h.edges, 4); // genesis edges skipped
+        assert_eq!(h.observed, 1.0);
+        assert!((h.expected - 0.5).abs() < 1e-6);
+        assert!(h.lift() > 0.4);
+    }
+
+    #[test]
+    fn mixed_edges_reduce_observed() {
+        let mut t = segregated();
+        // cross-cluster transaction: issuer 0 approves issuer 3's tip
+        let tips = t.tips();
+        t.add_meta(payload(), tips, 0, 4).unwrap();
+        let h = edge_homophily(&t, &[0, 0, 1, 1]);
+        assert!(h.observed < 1.0);
+        assert!(h.edges > 4);
+    }
+
+    #[test]
+    fn single_cluster_is_trivially_homophilous() {
+        let t = segregated();
+        let h = edge_homophily(&t, &[0, 0, 0, 0]);
+        assert_eq!(h.observed, 1.0);
+        assert!((h.expected - 1.0).abs() < 1e-6);
+        assert!(h.lift().abs() < 1e-6);
+    }
+
+    #[test]
+    fn genesis_only_tangle_has_no_edges() {
+        let t: Tangle<ModelParams> = Tangle::new(payload());
+        let h = edge_homophily(&t, &[0, 1]);
+        assert_eq!(h.edges, 0);
+        assert_eq!(h.observed, 0.0);
+    }
+}

@@ -1,0 +1,579 @@
+//! The per-node algorithm: reference selection (Algorithm 1), tip
+//! selection with optional local validation (§III-E), local training, and
+//! the publish gate (Algorithm 2).
+
+use crate::config::SimConfig;
+use fedavg::local_train;
+use feddata::ClientData;
+use rand::RngExt;
+use rand_distr::{Distribution, Normal};
+use std::sync::Arc;
+use tangle_ledger::walk::RandomWalk;
+use tangle_ledger::{Tangle, TangleAnalysis, TxId};
+use tinynn::{ParamVec, Sequential};
+
+/// Payload carried by learning-tangle transactions: a shared, immutable
+/// full set of model parameters.
+pub type ModelParams = Arc<ParamVec>;
+
+/// What a node *is* — honest, or one of the paper's two adversaries,
+/// activated from a given round ("after 200 rounds of benign training, the
+/// adversarial nodes generate poisoning transactions").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Always follows Algorithm 2 faithfully.
+    Honest,
+    /// From `from_round` on, publishes standard-normal random parameters
+    /// every time it is selected (indiscriminate attack, Fig. 5).
+    RandomPoisoner {
+        /// First round of malicious behaviour.
+        from_round: u64,
+    },
+    /// From `from_round` on, trains on a dataset consisting entirely of
+    /// `src`-class samples labelled `dst` (targeted attack, Fig. 6).
+    LabelFlipper {
+        /// First round of malicious behaviour.
+        from_round: u64,
+        /// True class of the poisoned samples.
+        src: u32,
+        /// Label the attacker assigns to them.
+        dst: u32,
+    },
+    /// From `from_round` on, trains on its own data *plus* trigger-stamped
+    /// copies labelled `target` — a backdoor attack (the "different
+    /// classes of poisoning attacks" the paper's outlook asks for,
+    /// following its reference \[29\]).
+    Backdoor {
+        /// First round of malicious behaviour.
+        from_round: u64,
+        /// Class the trigger should activate.
+        target: u32,
+    },
+}
+
+/// Behaviour a node exhibits in a particular round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Behaviour {
+    /// Algorithm 2 on clean local data.
+    Honest,
+    /// Publish random noise.
+    RandomNoise,
+    /// Algorithm 2 on the flipped dataset.
+    FlippedTraining,
+}
+
+/// A network participant: private local data plus a behaviour kind.
+pub struct Node {
+    /// Stable node id (also recorded as transaction issuer).
+    pub id: usize,
+    /// The node's clean local dataset.
+    pub data: ClientData,
+    /// Replacement dataset used once a [`NodeKind::LabelFlipper`] activates.
+    pub poisoned_data: Option<ClientData>,
+    /// The node's kind.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// An honest node over `data`.
+    pub fn honest(id: usize, data: ClientData) -> Self {
+        Self {
+            id,
+            data,
+            poisoned_data: None,
+            kind: NodeKind::Honest,
+        }
+    }
+
+    /// Which behaviour the node exhibits in `round`.
+    pub fn behaviour(&self, round: u64) -> Behaviour {
+        match self.kind {
+            NodeKind::Honest => Behaviour::Honest,
+            NodeKind::RandomPoisoner { from_round } => {
+                if round >= from_round {
+                    Behaviour::RandomNoise
+                } else {
+                    Behaviour::Honest
+                }
+            }
+            NodeKind::LabelFlipper { from_round, .. } | NodeKind::Backdoor { from_round, .. } => {
+                if round >= from_round {
+                    Behaviour::FlippedTraining
+                } else {
+                    Behaviour::Honest
+                }
+            }
+        }
+    }
+
+    /// Is the node behaving maliciously in `round`?
+    pub fn is_malicious(&self, round: u64) -> bool {
+        self.behaviour(round) != Behaviour::Honest
+    }
+}
+
+/// Everything nodes share within one round: the tangle snapshot analysis,
+/// the confidence estimate, and the consensus reference model.
+///
+/// The paper's training is round-based, with "published transactions from a
+/// given round ... only visible to the nodes participating in the next
+/// round" — so one context serves all nodes of a round.
+pub struct RoundContext<'a> {
+    /// The tangle as of the start of the round.
+    pub tangle: &'a Tangle<ModelParams>,
+    /// Cumulative weights and ratings of the snapshot.
+    pub analysis: TangleAnalysis,
+    /// Per-transaction walk confidence.
+    pub confidence: Vec<f32>,
+    /// The top `reference_avg` transactions by `confidence × rating`.
+    pub reference_ids: Vec<TxId>,
+    /// Their averaged parameters — the current consensus model.
+    pub reference: ParamVec,
+    /// The round being played.
+    pub round: u64,
+    /// Walk configuration used for all tip selection this round.
+    pub walk: RandomWalk,
+    /// Per-transaction depths, present when windowed tip selection is on.
+    pub depths: Option<Vec<u32>>,
+    /// The configured window (mirrors `hyper.window`).
+    pub window: Option<u32>,
+}
+
+impl<'a> RoundContext<'a> {
+    /// Build the shared context for `round` (Algorithm 1 happens here).
+    pub fn build(tangle: &'a Tangle<ModelParams>, cfg: &SimConfig, round: u64, seed: u64) -> Self {
+        let analysis = TangleAnalysis::compute(tangle);
+        let walk = RandomWalk::new(cfg.hyper.alpha);
+        let samples = cfg.hyper.confidence_samples.max(1);
+        let confidence = match cfg.hyper.confidence_mode {
+            crate::config::ConfidenceMode::WalkHit => {
+                analysis.walk_confidence(tangle, &walk, samples, seed)
+            }
+            crate::config::ConfidenceMode::Approval => {
+                analysis.approval_confidence(tangle, &walk, samples, seed)
+            }
+        };
+        let reference_ids = analysis.choose_reference(&confidence, cfg.hyper.reference_avg.max(1));
+        let payloads: Vec<&ParamVec> = reference_ids
+            .iter()
+            .map(|id| tangle.get(*id).payload.as_ref())
+            .collect();
+        let reference = ParamVec::average(&payloads);
+        let depths = cfg
+            .hyper
+            .window
+            .map(|_| tangle_ledger::analysis::depths(tangle));
+        Self {
+            tangle,
+            analysis,
+            confidence,
+            reference_ids,
+            reference,
+            round,
+            walk,
+            depths,
+            window: cfg.hyper.window,
+        }
+    }
+
+    /// Sample one tip by weighted random walk using the cached weights.
+    /// Starts from the genesis, or from a depth-window particle when
+    /// windowed selection is configured (§IV).
+    pub fn sample_tip(&self, rng: &mut dyn rand::Rng) -> TxId {
+        match (self.window, &self.depths) {
+            (Some(w), Some(depths)) => tangle_ledger::walk::WindowedWalk::new(self.walk, w)
+                .select_tip_with_weights(
+                    self.tangle,
+                    &self.analysis.cumulative_weight,
+                    depths,
+                    rng,
+                ),
+            _ => self.walk.select_tip_with_weights(
+                self.tangle,
+                &self.analysis.cumulative_weight,
+                rng,
+            ),
+        }
+    }
+}
+
+/// A transaction a node wants to publish at the end of the round.
+#[derive(Clone, Debug)]
+pub struct Publish {
+    /// Issuing node id.
+    pub node: usize,
+    /// New model parameters.
+    pub params: ParamVec,
+    /// The approved parent tips.
+    pub parents: Vec<TxId>,
+}
+
+/// Per-node outcome of one round, for statistics.
+#[derive(Clone, Debug)]
+pub struct StepOutcome {
+    /// The publish request, if the node's gate passed.
+    pub publish: Option<Publish>,
+    /// Local validation loss of the freshly trained model (None for the
+    /// random poisoner, which does not train).
+    pub new_loss: Option<f32>,
+    /// Local validation loss of the reference model.
+    pub reference_loss: Option<f32>,
+}
+
+/// Evaluate `params` on a client's held-out data, returning the loss.
+fn validation_loss(model: &mut Sequential, params: &ParamVec, data: &ClientData) -> f32 {
+    params.assign_to(model);
+    let (loss, _) = model.evaluate(&data.test_x, &data.test_y);
+    loss
+}
+
+/// Execute one node-round (the paper's Algorithm 2, §III-E variant when
+/// `tip_validation` is on).
+///
+/// `build` constructs scratch models of the shared architecture; `rng`
+/// drives this node's walks and batch shuffles.
+pub fn node_step(
+    node: &Node,
+    ctx: &RoundContext<'_>,
+    build: &(dyn Fn() -> Sequential + Sync),
+    cfg: &SimConfig,
+    rng: &mut impl RngExt,
+) -> StepOutcome {
+    match node.behaviour(ctx.round) {
+        Behaviour::RandomNoise => random_poison_step(node, ctx, cfg, rng),
+        Behaviour::Honest => honest_step(node, &node.data, ctx, build, cfg, rng),
+        Behaviour::FlippedTraining => {
+            let data = node
+                .poisoned_data
+                .as_ref()
+                .expect("data poisoner constructed with poisoned data");
+            honest_step(node, data, ctx, build, cfg, rng)
+        }
+    }
+}
+
+fn honest_step(
+    node: &Node,
+    data: &ClientData,
+    ctx: &RoundContext<'_>,
+    build: &(dyn Fn() -> Sequential + Sync),
+    cfg: &SimConfig,
+    rng: &mut impl RngExt,
+) -> StepOutcome {
+    let hyper = &cfg.hyper;
+    let mut model = build();
+    let reference_loss = validation_loss(&mut model, &ctx.reference, data);
+
+    // Tip selection: `sample_size` walks; with validation on, keep the
+    // locally best `num_tips` distinct candidates, else the first walks.
+    // With `accuracy_bias` enabled (§VI outlook) the walk is additionally
+    // biased by each model's accuracy on this node's local data.
+    let bias: Option<Vec<f64>> = (hyper.accuracy_bias > 0.0).then(|| {
+        ctx.tangle
+            .transactions()
+            .iter()
+            .map(|tx| {
+                tx.payload.assign_to(&mut model);
+                let (_, acc) = model.evaluate(&data.test_x, &data.test_y);
+                hyper.accuracy_bias * acc as f64
+            })
+            .collect()
+    });
+    let samples: Vec<TxId> = (0..hyper.sample_size.max(hyper.num_tips))
+        .map(|_| match &bias {
+            None => ctx.sample_tip(rng),
+            Some(b) => tangle_ledger::walk::BiasedRandomWalk::new(hyper.alpha, b)
+                .select_tip_with_weights(ctx.tangle, &ctx.analysis.cumulative_weight, rng),
+        })
+        .collect();
+    let parents: Vec<TxId> = if hyper.tip_validation {
+        let mut distinct = samples.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut scored: Vec<(f32, TxId)> = distinct
+            .into_iter()
+            .map(|tip| {
+                let loss = validation_loss(&mut model, &ctx.tangle.get(tip).payload, data);
+                (loss, tip)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite losses"));
+        scored
+            .into_iter()
+            .take(hyper.num_tips.max(1))
+            .map(|(_, t)| t)
+            .collect()
+    } else {
+        samples.into_iter().take(hyper.num_tips.max(1)).collect()
+    };
+
+    // Average the parent models — duplicates count twice, matching the
+    // paper's w_avg = ½w₁ + ½w₂ for possibly-identical tips.
+    let payloads: Vec<&ParamVec> = parents
+        .iter()
+        .map(|id| ctx.tangle.get(*id).payload.as_ref())
+        .collect();
+    let avg = ParamVec::average(&payloads);
+
+    // Train locally from the averaged base.
+    avg.assign_to(&mut model);
+    local_train(
+        &mut model,
+        data,
+        cfg.local_epochs,
+        cfg.lr,
+        cfg.batch_size,
+        rng,
+    );
+    let new_params = ParamVec::from_model(&model);
+    let (new_loss, _) = model.evaluate(&data.test_x, &data.test_y);
+
+    // Publish gate: only emit if we beat the consensus reference locally.
+    let publish = (new_loss < reference_loss).then_some(Publish {
+        node: node.id,
+        params: new_params,
+        parents,
+    });
+    StepOutcome {
+        publish,
+        new_loss: Some(new_loss),
+        reference_loss: Some(reference_loss),
+    }
+}
+
+fn random_poison_step(
+    node: &Node,
+    ctx: &RoundContext<'_>,
+    cfg: &SimConfig,
+    rng: &mut impl RngExt,
+) -> StepOutcome {
+    // "adversarial nodes simply submit model parameters generated by a
+    // standard normal distribution" (Fig. 5). Parents are selected by the
+    // ordinary walk so the junk attaches where honest traffic attaches.
+    let normal = Normal::new(0.0f32, 1.0).expect("valid normal");
+    let dim = ctx.reference.len();
+    let params = ParamVec((0..dim).map(|_| normal.sample(rng)).collect());
+    let parents: Vec<TxId> = (0..cfg.hyper.num_tips.max(1))
+        .map(|_| ctx.sample_tip(rng))
+        .collect();
+    StepOutcome {
+        publish: Some(Publish {
+            node: node.id,
+            params,
+            parents,
+        }),
+        new_loss: None,
+        reference_loss: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feddata::blobs::{self, BlobsConfig};
+    use tinynn::rng::seeded;
+
+    fn build() -> Sequential {
+        tinynn::zoo::mlp(8, &[12], 4, &mut seeded(7))
+    }
+
+    fn dataset() -> feddata::FederatedDataset {
+        blobs::generate(
+            &BlobsConfig {
+                users: 6,
+                samples_per_user: (20, 30),
+                noise_std: 0.6,
+                ..BlobsConfig::default()
+            },
+            9,
+        )
+    }
+
+    fn genesis_tangle() -> Tangle<ModelParams> {
+        Tangle::new(Arc::new(ParamVec::from_model(&build())))
+    }
+
+    #[test]
+    fn behaviour_activation() {
+        let ds = dataset();
+        let mut n = Node::honest(0, ds.clients[0].clone());
+        assert_eq!(n.behaviour(1000), Behaviour::Honest);
+        n.kind = NodeKind::RandomPoisoner { from_round: 10 };
+        assert_eq!(n.behaviour(9), Behaviour::Honest);
+        assert_eq!(n.behaviour(10), Behaviour::RandomNoise);
+        assert!(n.is_malicious(10));
+        assert!(!n.is_malicious(9));
+    }
+
+    #[test]
+    fn round_context_reference_is_genesis_initially() {
+        let tangle = genesis_tangle();
+        let cfg = SimConfig::default();
+        let ctx = RoundContext::build(&tangle, &cfg, 1, 1);
+        assert_eq!(ctx.reference_ids, vec![tangle.genesis()]);
+        assert_eq!(
+            &ctx.reference,
+            tangle.get(tangle.genesis()).payload.as_ref()
+        );
+    }
+
+    #[test]
+    fn honest_node_publishes_when_it_improves() {
+        // With a genesis-only tangle the reference is the random init, so a
+        // locally trained model should usually beat it and be published.
+        let ds = dataset();
+        let tangle = genesis_tangle();
+        let cfg = SimConfig {
+            lr: 0.2,
+            local_epochs: 3,
+            ..SimConfig::default()
+        };
+        let ctx = RoundContext::build(&tangle, &cfg, 1, 2);
+        let node = Node::honest(0, ds.clients[0].clone());
+        let mut rng = seeded(11);
+        let out = node_step(&node, &ctx, &build, &cfg, &mut rng);
+        let publish = out
+            .publish
+            .expect("training from random init should improve");
+        // Both sampled tips are necessarily the genesis (duplicates are
+        // kept here; the ledger collapses them at insertion).
+        assert_eq!(publish.parents, vec![tangle.genesis(), tangle.genesis()]);
+        assert_eq!(publish.node, 0);
+        assert!(out.new_loss.unwrap() < out.reference_loss.unwrap());
+    }
+
+    #[test]
+    fn random_poisoner_always_publishes_noise() {
+        let ds = dataset();
+        let tangle = genesis_tangle();
+        let cfg = SimConfig::default();
+        let ctx = RoundContext::build(&tangle, &cfg, 5, 3);
+        let node = Node {
+            id: 1,
+            data: ds.clients[1].clone(),
+            poisoned_data: None,
+            kind: NodeKind::RandomPoisoner { from_round: 0 },
+        };
+        let mut rng = seeded(12);
+        let out = node_step(&node, &ctx, &build, &cfg, &mut rng);
+        let p = out.publish.expect("poisoner always publishes");
+        assert_eq!(p.params.len(), ctx.reference.len());
+        assert!(out.new_loss.is_none());
+        // noise is not all zeros
+        assert!(p.params.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn tip_validation_avoids_poison_tips() {
+        // Tangle: genesis + one good (trained) tip + one noise tip.
+        // With validation on and sample_size high, the node should select
+        // the good tip (twice) and never approve the poison.
+        let ds = dataset();
+        let mut tangle = genesis_tangle();
+        // good tip: genesis params actually trained a bit
+        let mut model = build();
+        let mut rng = seeded(20);
+        fedavg::local_train(&mut model, &ds.clients[2], 3, 0.2, 8, &mut rng);
+        let good = tangle
+            .add(
+                Arc::new(ParamVec::from_model(&model)),
+                vec![tangle.genesis()],
+            )
+            .unwrap();
+        let noise = tangle
+            .add(
+                Arc::new(ParamVec(vec![5.0; ctx_dim(&tangle)])),
+                vec![tangle.genesis()],
+            )
+            .unwrap();
+        let cfg = SimConfig {
+            hyper: crate::TangleHyperParams {
+                sample_size: 12,
+                tip_validation: true,
+                num_tips: 2,
+                ..crate::TangleHyperParams::basic()
+            },
+            ..SimConfig::default()
+        };
+        let ctx = RoundContext::build(&tangle, &cfg, 1, 4);
+        let node = Node::honest(3, ds.clients[3].clone());
+        let mut rng = seeded(21);
+        let out = node_step(&node, &ctx, &build, &cfg, &mut rng);
+        // Selected parents must be ranked best-first: good before noise if
+        // both sampled; the top choice must never be the noise tip.
+        if let Some(p) = out.publish {
+            assert_ne!(p.parents[0], noise, "noise tip ranked first");
+            assert_eq!(p.parents[0], good);
+        }
+    }
+
+    fn ctx_dim(tangle: &Tangle<ModelParams>) -> usize {
+        tangle.get(tangle.genesis()).payload.len()
+    }
+
+    #[test]
+    fn accuracy_bias_steers_walk_toward_good_models() {
+        // Same fork as the validation test, but the defense is OFF and the
+        // §VI accuracy-biased walk is ON: the walk itself should avoid the
+        // noise branch.
+        let ds = dataset();
+        let mut tangle = genesis_tangle();
+        let mut model = build();
+        let mut rng = seeded(30);
+        fedavg::local_train(&mut model, &ds.clients[2], 3, 0.2, 8, &mut rng);
+        let good = tangle
+            .add(
+                Arc::new(ParamVec::from_model(&model)),
+                vec![tangle.genesis()],
+            )
+            .unwrap();
+        let noise = tangle
+            .add(
+                Arc::new(ParamVec(vec![5.0; ctx_dim(&tangle)])),
+                vec![tangle.genesis()],
+            )
+            .unwrap();
+        let cfg = SimConfig {
+            hyper: crate::TangleHyperParams {
+                num_tips: 1,
+                sample_size: 1,
+                accuracy_bias: 1000.0,
+                alpha: 1.0,
+                ..crate::TangleHyperParams::basic()
+            },
+            lr: 0.2,
+            local_epochs: 2,
+            ..SimConfig::default()
+        };
+        let ctx = RoundContext::build(&tangle, &cfg, 1, 6);
+        let node = Node::honest(4, ds.clients[4].clone());
+        // Which tip is better *on this node's local data*? The biased walk
+        // should favour that one (this is the point of the §VI bias: local
+        // performance, enabling per-cluster sub-tangles).
+        let mut scratch = build();
+        let mut local_acc = |id: tangle_ledger::TxId| {
+            tangle.get(id).payload.assign_to(&mut scratch);
+            scratch.evaluate(&node.data.test_x, &node.data.test_y).1
+        };
+        let (acc_good, acc_noise) = (local_acc(good), local_acc(noise));
+        let winner = if acc_good >= acc_noise { good } else { noise };
+        let mut winner_hits = 0;
+        let mut total = 0;
+        for s in 0..10 {
+            let mut rng = seeded(100 + s);
+            let out = node_step(&node, &ctx, &build, &cfg, &mut rng);
+            if let Some(p) = out.publish {
+                total += 1;
+                if p.parents[0] == winner {
+                    winner_hits += 1;
+                }
+            }
+        }
+        assert!(total > 0, "node never published");
+        assert!(
+            winner_hits * 2 > total,
+            "biased walk should mostly pick the locally better tip \
+             (good {acc_good:.2} vs noise {acc_noise:.2}): {winner_hits}/{total}"
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Ledger persistence.
+//!
+//! The paper envisions "a long-lived, evolving learning network" (§II-B)
+//! whose global model "over time adapts to shifts in the underlying data
+//! distribution". Long-lived means restartable: this module serializes a
+//! model-carrying tangle to a compact binary file and restores it, so a
+//! training network can stop and resume without losing its ledger.
+//!
+//! Format (little-endian):
+//! ```text
+//! magic  b"LTGL"   version u8 (1)   tx_count u32
+//! per transaction:
+//!   issuer u64   round u64   parent_count u16   parents (u32 local id) ×
+//!   payload_len u32   payload bytes (tinynn::wire encoding, checksummed)
+//! ```
+
+use crate::node::ModelParams;
+use bytes_shim::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+use tangle_ledger::{Tangle, TxId};
+use tinynn::wire;
+
+/// Plain little-endian helpers over `Vec<u8>`/slices (keeps this module
+/// free of a buffer-library dependency in its public surface).
+mod bytes_shim {
+    pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn get_u16(b: &[u8], at: &mut usize) -> Option<u16> {
+        let v = b.get(*at..*at + 2)?;
+        *at += 2;
+        Some(u16::from_le_bytes(v.try_into().ok()?))
+    }
+    pub fn get_u32(b: &[u8], at: &mut usize) -> Option<u32> {
+        let v = b.get(*at..*at + 4)?;
+        *at += 4;
+        Some(u32::from_le_bytes(v.try_into().ok()?))
+    }
+    pub fn get_u64(b: &[u8], at: &mut usize) -> Option<u64> {
+        let v = b.get(*at..*at + 8)?;
+        *at += 8;
+        Some(u64::from_le_bytes(v.try_into().ok()?))
+    }
+}
+
+const MAGIC: &[u8; 4] = b"LTGL";
+const VERSION: u8 = 1;
+
+/// Errors while loading a persisted ledger.
+#[derive(Debug)]
+pub enum PersistError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Structural problem in the file.
+    Malformed(&'static str),
+    /// A payload failed its checksum.
+    Payload(wire::WireError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Malformed(m) => write!(f, "malformed ledger file: {m}"),
+            PersistError::Payload(e) => write!(f, "payload error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Serialize a tangle to bytes.
+pub fn to_bytes(tangle: &Tangle<ModelParams>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    put_u32(&mut out, tangle.len() as u32);
+    for tx in tangle.transactions() {
+        put_u64(&mut out, tx.issuer);
+        put_u64(&mut out, tx.round);
+        put_u16(&mut out, tx.parents.len() as u16);
+        for p in &tx.parents {
+            put_u32(&mut out, p.0);
+        }
+        let payload = wire::encode(&tx.payload);
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+/// Reconstruct a tangle from bytes.
+pub fn from_bytes(b: &[u8]) -> Result<Tangle<ModelParams>, PersistError> {
+    let mut at = 0usize;
+    if b.len() < 9 || &b[..4] != MAGIC {
+        return Err(PersistError::Malformed("bad magic"));
+    }
+    at += 4;
+    if b[at] != VERSION {
+        return Err(PersistError::Malformed("unsupported version"));
+    }
+    at += 1;
+    let count = get_u32(b, &mut at).ok_or(PersistError::Malformed("truncated header"))? as usize;
+    if count == 0 {
+        return Err(PersistError::Malformed("empty ledger"));
+    }
+    let mut tangle: Option<Tangle<ModelParams>> = None;
+    for i in 0..count {
+        let issuer = get_u64(b, &mut at).ok_or(PersistError::Malformed("truncated tx"))?;
+        let round = get_u64(b, &mut at).ok_or(PersistError::Malformed("truncated tx"))?;
+        let np = get_u16(b, &mut at).ok_or(PersistError::Malformed("truncated tx"))? as usize;
+        let mut parents = Vec::with_capacity(np);
+        for _ in 0..np {
+            parents.push(TxId(
+                get_u32(b, &mut at).ok_or(PersistError::Malformed("truncated parents"))?,
+            ));
+        }
+        let plen =
+            get_u32(b, &mut at).ok_or(PersistError::Malformed("truncated payload len"))? as usize;
+        let payload = b
+            .get(at..at + plen)
+            .ok_or(PersistError::Malformed("truncated payload"))?;
+        at += plen;
+        let params = Arc::new(wire::decode(payload).map_err(PersistError::Payload)?);
+        match (&mut tangle, i) {
+            (slot @ None, 0) => {
+                if !parents.is_empty() {
+                    return Err(PersistError::Malformed("genesis has parents"));
+                }
+                *slot = Some(Tangle::new(params));
+            }
+            (Some(t), _) => {
+                t.add_meta(params, parents, issuer, round)
+                    .map_err(|_| PersistError::Malformed("invalid parent reference"))?;
+            }
+            _ => return Err(PersistError::Malformed("missing genesis")),
+        }
+    }
+    if at != b.len() {
+        return Err(PersistError::Malformed("trailing bytes"));
+    }
+    Ok(tangle.expect("count >= 1"))
+}
+
+/// Write a ledger to a file.
+pub fn save(path: impl AsRef<Path>, tangle: &Tangle<ModelParams>) -> Result<(), PersistError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&to_bytes(tangle))?;
+    Ok(())
+}
+
+/// Read a ledger from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<Tangle<ModelParams>, PersistError> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinynn::ParamVec;
+
+    fn sample_tangle() -> Tangle<ModelParams> {
+        let mut t = Tangle::new(Arc::new(ParamVec(vec![0.5, -0.5])));
+        let a = t
+            .add_meta(Arc::new(ParamVec(vec![1.0, 2.0])), vec![t.genesis()], 3, 1)
+            .unwrap();
+        t.add_meta(
+            Arc::new(ParamVec(vec![3.0, 4.0])),
+            vec![a, t.genesis()],
+            4,
+            2,
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_tangle();
+        let b = to_bytes(&t);
+        let r = from_bytes(&b).unwrap();
+        assert_eq!(r.len(), t.len());
+        assert_eq!(r.tips(), t.tips());
+        for (x, y) in t.transactions().iter().zip(r.transactions()) {
+            assert_eq!(x.parents, y.parents);
+            assert_eq!(x.issuer, y.issuer);
+            assert_eq!(x.round, y.round);
+            assert_eq!(x.payload.as_ref(), y.payload.as_ref());
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample_tangle();
+        let path = std::env::temp_dir().join("lt_persist_test.tangle");
+        save(&path, &t).unwrap();
+        let r = load(&path).unwrap();
+        assert_eq!(r.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let t = sample_tangle();
+        let mut b = to_bytes(&t);
+        // flip a payload byte (inside the last payload's values)
+        let n = b.len();
+        b[n - 12] ^= 0x40;
+        assert!(matches!(from_bytes(&b), Err(PersistError::Payload(_))));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let t = sample_tangle();
+        let b = to_bytes(&t);
+        assert!(from_bytes(&b[..b.len() - 3]).is_err());
+        assert!(from_bytes(&b[..6]).is_err());
+        assert!(from_bytes(b"XXXXX").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let t = sample_tangle();
+        let mut b = to_bytes(&t);
+        b.push(0);
+        assert!(matches!(
+            from_bytes(&b),
+            Err(PersistError::Malformed("trailing bytes"))
+        ));
+    }
+}

@@ -1,0 +1,675 @@
+//! The round-based learning-tangle simulator used for every paper
+//! experiment.
+//!
+//! Training is organized in rounds for comparability with FedAvg (paper
+//! §IV): each round samples `nodes_per_round` nodes, all of them see the
+//! tangle *as of the end of the previous round*, run Algorithm 2
+//! concurrently, and their publications are appended together at the round
+//! barrier.
+
+use crate::config::SimConfig;
+use crate::dp::DpConfig;
+use crate::node::{node_step, ModelParams, Node, RoundContext};
+use feddata::{ClientData, FederatedDataset};
+use rand::RngExt;
+use rayon::prelude::*;
+use std::sync::Arc;
+use tangle_ledger::Tangle;
+use tinynn::loss::predictions;
+use tinynn::rng::{derive, seeded};
+use tinynn::{ParamVec, Sequential};
+
+/// Statistics of one simulated round.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundStats {
+    /// Round index (1-based).
+    pub round: u64,
+    /// Nodes sampled this round.
+    pub sampled: usize,
+    /// Transactions actually published.
+    pub published: usize,
+    /// Publications issued by nodes behaving maliciously this round.
+    pub malicious_published: usize,
+    /// Tip count after the round.
+    pub tips: usize,
+}
+
+/// Result of a consensus-model evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalResult {
+    /// Accuracy on the pooled clean held-out data of the sampled clients.
+    pub accuracy: f32,
+    /// Cross-entropy loss on the same pool.
+    pub loss: f32,
+    /// Fraction of the reference transactions issued by nodes that were
+    /// malicious when they published.
+    pub reference_poisoned_fraction: f32,
+}
+
+/// A complete learning-tangle run: population, ledger, and configuration.
+pub struct Simulation<'a> {
+    nodes: Vec<Node>,
+    tangle: Tangle<ModelParams>,
+    build: Box<dyn Fn() -> Sequential + Sync + 'a>,
+    cfg: SimConfig,
+    dp: Option<DpConfig>,
+    round: u64,
+    /// `round_end_len[r]` = ledger size at the end of round `r`
+    /// (`[0]` = 1, the genesis). Used to reconstruct stale views under the
+    /// [`crate::config::NetworkModel`].
+    round_end_len: Vec<usize>,
+    /// Publications dropped by the lossy network so far.
+    lost_publications: u64,
+}
+
+impl<'a> Simulation<'a> {
+    /// Create a simulation over a federated dataset. The genesis
+    /// transaction carries one fresh model initialization — the shared
+    /// starting point, like the initial model a FedAvg server distributes.
+    pub fn new(
+        data: FederatedDataset,
+        cfg: SimConfig,
+        build: impl Fn() -> Sequential + Sync + 'a,
+    ) -> Self {
+        let genesis = Arc::new(ParamVec::from_model(&build()));
+        let nodes = data
+            .clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| Node::honest(i, c))
+            .collect();
+        Self {
+            nodes,
+            tangle: Tangle::new(genesis),
+            build: Box::new(build),
+            cfg,
+            dp: None,
+            round: 0,
+            round_end_len: vec![1],
+            lost_publications: 0,
+        }
+    }
+
+    /// Publications dropped so far by the lossy-network model.
+    pub fn lost_publications(&self) -> u64 {
+        self.lost_publications
+    }
+
+    /// Enable differential-privacy noise on all published parameters.
+    pub fn with_dp(mut self, dp: DpConfig) -> Self {
+        self.dp = Some(dp);
+        self
+    }
+
+    /// Resume from a persisted ledger (see [`crate::persist`]): the
+    /// network keeps its full history; training continues from whatever
+    /// consensus the saved tangle encodes. The restored transactions are
+    /// attributed to one synthetic pre-resume round.
+    ///
+    /// # Panics
+    /// Panics if the ledger's parameter dimension does not match the model
+    /// architecture produced by `build`.
+    pub fn resume(
+        data: FederatedDataset,
+        cfg: SimConfig,
+        build: impl Fn() -> Sequential + Sync + 'a,
+        tangle: Tangle<ModelParams>,
+    ) -> Self {
+        let expect = build().param_count();
+        for tx in tangle.transactions() {
+            assert_eq!(
+                tx.payload.len(),
+                expect,
+                "persisted ledger does not match the model architecture"
+            );
+        }
+        let nodes = data
+            .clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| Node::honest(i, c))
+            .collect();
+        let len = tangle.len();
+        Self {
+            nodes,
+            tangle,
+            build: Box::new(build),
+            cfg,
+            dp: None,
+            round: 1,
+            round_end_len: vec![1, len],
+            lost_publications: 0,
+        }
+    }
+
+    /// The node population (e.g. for attack assignment).
+    pub fn nodes_mut(&mut self) -> &mut [Node] {
+        &mut self.nodes
+    }
+
+    /// The node population, read-only.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The ledger.
+    pub fn tangle(&self) -> &Tangle<ModelParams> {
+        &self.tangle
+    }
+
+    /// Rounds completed.
+    pub fn rounds_done(&self) -> u64 {
+        self.round
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Run one round.
+    pub fn round(&mut self) -> RoundStats {
+        self.round += 1;
+        let round = self.round;
+        let mut rng = seeded(derive(self.cfg.seed, round));
+        // Sample active nodes.
+        let n = self.nodes.len();
+        let k = self.cfg.nodes_per_round.clamp(1, n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        // All sampled nodes run Algorithm 2. On an ideal network they share
+        // one round context (everyone sees the end of the previous round);
+        // under a NetworkModel each node reconstructs its own stale view.
+        let outcomes: Vec<(usize, crate::node::StepOutcome)> = match self.cfg.network {
+            None => {
+                let ctx = RoundContext::build(
+                    &self.tangle,
+                    &self.cfg,
+                    round,
+                    derive(self.cfg.seed, round ^ 0xC0FF_EE00),
+                );
+                idx.par_iter()
+                    .map(|&ni| {
+                        let mut node_rng = seeded(derive(self.cfg.seed, (round << 24) ^ ni as u64));
+                        let out = node_step(
+                            &self.nodes[ni],
+                            &ctx,
+                            self.build.as_ref(),
+                            &self.cfg,
+                            &mut node_rng,
+                        );
+                        (ni, out)
+                    })
+                    .collect()
+            }
+            Some(net) => idx
+                .par_iter()
+                .map(|&ni| {
+                    let mut node_rng = seeded(derive(self.cfg.seed, (round << 24) ^ ni as u64));
+                    let delay = node_rng.random_range(0..=net.max_delay_rounds);
+                    let view_round = (round - 1).saturating_sub(delay) as usize;
+                    let view = self.tangle.prefix(self.round_end_len[view_round]);
+                    let ctx = RoundContext::build(
+                        &view,
+                        &self.cfg,
+                        round,
+                        derive(self.cfg.seed, (round ^ 0xC0FF_EE00) ^ (ni as u64) << 32),
+                    );
+                    let out = node_step(
+                        &self.nodes[ni],
+                        &ctx,
+                        self.build.as_ref(),
+                        &self.cfg,
+                        &mut node_rng,
+                    );
+                    (ni, out)
+                })
+                .collect(),
+        };
+        // Round barrier: publish everything at once.
+        let mut published = 0;
+        let mut malicious_published = 0;
+        let mut dp_rng = seeded(derive(self.cfg.seed, round ^ 0xD11F_F00D));
+        let mut loss_rng = seeded(derive(self.cfg.seed, round ^ 0x1057_0000));
+        for (ni, out) in outcomes {
+            if let Some(mut p) = out.publish {
+                if let Some(net) = self.cfg.network {
+                    if net.publish_loss > 0.0 && loss_rng.random_range(0.0..1.0) < net.publish_loss
+                    {
+                        self.lost_publications += 1;
+                        continue;
+                    }
+                }
+                if let Some(dp) = &self.dp {
+                    // Privatize relative to the averaged parent base.
+                    let parents: Vec<&ParamVec> = p
+                        .parents
+                        .iter()
+                        .map(|id| self.tangle.get(*id).payload.as_ref())
+                        .collect();
+                    let base = ParamVec::average(&parents);
+                    p.params = crate::dp::privatize(&p.params, &base, dp, &mut dp_rng);
+                }
+                if self.nodes[ni].is_malicious(round) {
+                    malicious_published += 1;
+                }
+                self.tangle
+                    .add_meta(Arc::new(p.params), p.parents, ni as u64, round)
+                    .expect("parents come from the same tangle");
+                published += 1;
+            }
+        }
+        self.round_end_len.push(self.tangle.len());
+        RoundStats {
+            round,
+            sampled: k,
+            published,
+            malicious_published,
+            tips: self.tangle.tip_count(),
+        }
+    }
+
+    /// Compute the current consensus parameters (Algorithm 1 over the
+    /// latest snapshot, averaging `reference_avg` transactions).
+    pub fn consensus_params(&self) -> ParamVec {
+        let ctx = RoundContext::build(
+            &self.tangle,
+            &self.cfg,
+            self.round + 1,
+            derive(self.cfg.seed, (self.round + 1) ^ 0xC0FF_EE00),
+        );
+        ctx.reference
+    }
+
+    /// Ids and poisoned-issuer fraction of the current reference set.
+    fn reference_info(&self) -> (ParamVec, f32) {
+        let ctx = RoundContext::build(
+            &self.tangle,
+            &self.cfg,
+            self.round + 1,
+            derive(self.cfg.seed, (self.round + 1) ^ 0xC0FF_EE00),
+        );
+        let mut poisoned = 0usize;
+        for id in &ctx.reference_ids {
+            let tx = self.tangle.get(*id);
+            if tx.issuer != u64::MAX {
+                let node = &self.nodes[tx.issuer as usize];
+                if node.is_malicious(tx.round) {
+                    poisoned += 1;
+                }
+            }
+        }
+        let frac = poisoned as f32 / ctx.reference_ids.len().max(1) as f32;
+        (ctx.reference, frac)
+    }
+
+    /// Pool the *clean* held-out data of an `eval_fraction` sample of all
+    /// nodes (the paper validates "using the test datasets of a random
+    /// selection of 10% of all nodes").
+    fn eval_pool(&self, eval_seed: u64) -> Vec<&ClientData> {
+        let mut rng = seeded(derive(self.cfg.seed, 0x5EED_0000 ^ eval_seed));
+        let n = self.nodes.len();
+        let k = (((n as f32) * self.cfg.eval_fraction).round() as usize).clamp(1, n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx.into_iter().map(|i| &self.nodes[i].data).collect()
+    }
+
+    /// Evaluate the consensus model.
+    pub fn evaluate(&self, eval_seed: u64) -> EvalResult {
+        let (reference, poisoned_frac) = self.reference_info();
+        let clients = self.eval_pool(eval_seed);
+        let mut model = (self.build)();
+        let (loss, accuracy) = fedavg::evaluate_params(&mut model, &reference, &clients);
+        EvalResult {
+            accuracy,
+            loss,
+            reference_poisoned_fraction: poisoned_frac,
+        }
+    }
+
+    /// Backdoor attack-success rate: stamp the trigger onto every clean
+    /// evaluation image whose true label differs from `target` and report
+    /// the fraction the consensus model then classifies as `target`.
+    /// Requires image data (`[N, C, H, W]`).
+    pub fn backdoor_success(&self, target: u32, patch: usize, eval_seed: u64) -> f32 {
+        let (reference, _) = self.reference_info();
+        let clients = self.eval_pool(eval_seed);
+        let mut model = (self.build)();
+        reference.assign_to(&mut model);
+        let mut total = 0usize;
+        let mut hit = 0usize;
+        for c in clients {
+            if c.test_len() == 0 {
+                continue;
+            }
+            let mut triggered = c.test_x.clone();
+            feddata::poison::apply_trigger(&mut triggered, patch, 1.0);
+            let preds = predictions(&model.predict(&triggered));
+            for (p, &t) in preds.iter().zip(&c.test_y) {
+                if t != target {
+                    total += 1;
+                    if *p == target {
+                        hit += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hit as f32 / total as f32
+        }
+    }
+
+    /// Fig. 6b metric: among evaluation samples whose true label is `src`,
+    /// the fraction the consensus model predicts as `dst`.
+    pub fn target_misclassification(&self, src: u32, dst: u32, eval_seed: u64) -> f32 {
+        let (reference, _) = self.reference_info();
+        let clients = self.eval_pool(eval_seed);
+        let mut model = (self.build)();
+        reference.assign_to(&mut model);
+        let mut total = 0usize;
+        let mut hit = 0usize;
+        for c in clients {
+            if c.test_len() == 0 {
+                continue;
+            }
+            let logits = model.predict(&c.test_x);
+            let preds = predictions(&logits);
+            for (p, &t) in preds.iter().zip(&c.test_y) {
+                if t == src {
+                    total += 1;
+                    if *p == dst {
+                        hit += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hit as f32 / total as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{assign_malicious, AttackKind};
+    use crate::config::TangleHyperParams;
+    use feddata::blobs::{self, BlobsConfig};
+    use tinynn::rng::seeded as tseed;
+
+    fn dataset(users: usize) -> FederatedDataset {
+        blobs::generate(
+            &BlobsConfig {
+                users,
+                samples_per_user: (24, 36),
+                noise_std: 0.6,
+                ..BlobsConfig::default()
+            },
+            77,
+        )
+    }
+
+    fn build() -> Sequential {
+        tinynn::zoo::mlp(8, &[12], 4, &mut tseed(5))
+    }
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            nodes_per_round: 5,
+            lr: 0.15,
+            local_epochs: 1,
+            batch_size: 8,
+            eval_fraction: 0.5,
+            seed: 3,
+            hyper: TangleHyperParams {
+                confidence_samples: 8,
+                ..TangleHyperParams::basic()
+            },
+            network: None,
+        }
+    }
+
+    #[test]
+    fn tangle_learning_converges_on_blobs() {
+        let mut sim = Simulation::new(dataset(10), quick_cfg(), build);
+        let acc0 = sim.evaluate(0).accuracy;
+        for _ in 0..20 {
+            sim.round();
+        }
+        let acc1 = sim.evaluate(0).accuracy;
+        assert!(
+            acc1 > acc0 + 0.2,
+            "tangle learning should improve: {acc0} -> {acc1}"
+        );
+        assert!(sim.tangle().len() > 10, "transactions should be published");
+    }
+
+    #[test]
+    fn round_stats_are_sane() {
+        let mut sim = Simulation::new(dataset(8), quick_cfg(), build);
+        let s = sim.round();
+        assert_eq!(s.round, 1);
+        assert_eq!(s.sampled, 5);
+        assert!(s.published <= s.sampled);
+        assert_eq!(s.malicious_published, 0);
+        assert!(s.tips >= 1);
+    }
+
+    #[test]
+    fn tip_count_stays_bounded() {
+        // "the combination of averaging and training ensures that the number
+        // of tips in the network remains constant given a fixed rate of
+        // incoming updates" (§III-C).
+        let mut sim = Simulation::new(dataset(12), quick_cfg(), build);
+        for _ in 0..15 {
+            sim.round();
+        }
+        assert!(
+            sim.tangle().tip_count() <= 3 * sim.config().nodes_per_round,
+            "tips exploded: {}",
+            sim.tangle().tip_count()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut cfg = quick_cfg();
+            cfg.seed = seed;
+            let mut sim = Simulation::new(dataset(8), cfg, build);
+            for _ in 0..5 {
+                sim.round();
+            }
+            (sim.tangle().len(), sim.evaluate(0).accuracy)
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn random_poisoners_get_flagged_in_stats() {
+        let mut sim = Simulation::new(dataset(10), quick_cfg(), build);
+        assign_malicious(sim.nodes_mut(), 0.5, 0, AttackKind::RandomNoise, 1, |_| {
+            None
+        });
+        let mut saw_malicious = false;
+        for _ in 0..5 {
+            if sim.round().malicious_published > 0 {
+                saw_malicious = true;
+            }
+        }
+        assert!(saw_malicious, "poisoners publish every time they are drawn");
+    }
+
+    #[test]
+    fn dp_noise_does_not_break_learning() {
+        let mut sim = Simulation::new(dataset(10), quick_cfg(), build).with_dp(DpConfig {
+            clip_norm: 5.0,
+            sigma: 0.001,
+        });
+        for _ in 0..10 {
+            sim.round();
+        }
+        let acc = sim.evaluate(0).accuracy;
+        assert!(
+            acc > 0.3,
+            "mild DP noise should still allow learning: {acc}"
+        );
+    }
+
+    #[test]
+    fn save_and_resume_continues_training() {
+        let mut sim = Simulation::new(dataset(10), quick_cfg(), build);
+        for _ in 0..10 {
+            sim.round();
+        }
+        let acc_before = sim.evaluate(0).accuracy;
+        let bytes = crate::persist::to_bytes(sim.tangle());
+        drop(sim);
+        // Restart from the persisted ledger with fresh node state.
+        let restored = crate::persist::from_bytes(&bytes).unwrap();
+        let mut resumed = Simulation::resume(dataset(10), quick_cfg(), build, restored);
+        let acc_restored = resumed.evaluate(0).accuracy;
+        assert!(
+            (acc_before - acc_restored).abs() < 0.25,
+            "restored consensus should be in the same quality band: {acc_before} vs {acc_restored}"
+        );
+        let len_before = resumed.tangle().len();
+        for _ in 0..5 {
+            resumed.round();
+        }
+        assert!(
+            resumed.tangle().len() > len_before,
+            "resume must keep publishing"
+        );
+        let acc_after = resumed.evaluate(0).accuracy;
+        assert!(
+            acc_after > acc_restored - 0.2,
+            "continued training must not collapse: {acc_restored} -> {acc_after}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the model architecture")]
+    fn resume_rejects_mismatched_architecture() {
+        let mut sim = Simulation::new(dataset(6), quick_cfg(), build);
+        sim.round();
+        let bytes = crate::persist::to_bytes(sim.tangle());
+        let restored = crate::persist::from_bytes(&bytes).unwrap();
+        let wrong = || tinynn::zoo::mlp(8, &[5], 4, &mut tseed(5));
+        let _ = Simulation::resume(dataset(6), quick_cfg(), wrong, restored);
+    }
+
+    #[test]
+    fn approval_confidence_mode_converges() {
+        let mut cfg = quick_cfg();
+        cfg.hyper.confidence_mode = crate::ConfidenceMode::Approval;
+        let mut sim = Simulation::new(dataset(10), cfg, build);
+        let acc0 = sim.evaluate(0).accuracy;
+        for _ in 0..15 {
+            sim.round();
+        }
+        let acc1 = sim.evaluate(0).accuracy;
+        assert!(
+            acc1 > acc0 + 0.15,
+            "approval-confidence consensus should learn: {acc0} -> {acc1}"
+        );
+    }
+
+    #[test]
+    fn windowed_tip_selection_converges() {
+        let mut cfg = quick_cfg();
+        cfg.hyper.window = Some(3);
+        let mut sim = Simulation::new(dataset(10), cfg, build);
+        let acc0 = sim.evaluate(0).accuracy;
+        for _ in 0..15 {
+            sim.round();
+        }
+        let acc1 = sim.evaluate(0).accuracy;
+        assert!(
+            acc1 > acc0 + 0.15,
+            "windowed walks should still learn: {acc0} -> {acc1}"
+        );
+        assert!(sim.tangle().len() > 10);
+    }
+
+    #[test]
+    fn lossy_network_still_converges() {
+        let mut cfg = quick_cfg();
+        cfg.network = Some(crate::config::NetworkModel {
+            max_delay_rounds: 3,
+            publish_loss: 0.2,
+        });
+        let mut sim = Simulation::new(dataset(10), cfg, build);
+        let acc0 = sim.evaluate(0).accuracy;
+        for _ in 0..20 {
+            sim.round();
+        }
+        let acc1 = sim.evaluate(0).accuracy;
+        assert!(
+            acc1 > acc0 + 0.15,
+            "learning should survive delay + 20% loss: {acc0} -> {acc1}"
+        );
+        assert!(sim.lost_publications() > 0, "losses should be recorded");
+    }
+
+    #[test]
+    fn total_publish_loss_freezes_ledger() {
+        let mut cfg = quick_cfg();
+        cfg.network = Some(crate::config::NetworkModel {
+            max_delay_rounds: 0,
+            publish_loss: 1.0,
+        });
+        let mut sim = Simulation::new(dataset(8), cfg, build);
+        for _ in 0..5 {
+            sim.round();
+        }
+        assert_eq!(sim.tangle().len(), 1, "every publication must be lost");
+        assert!(sim.lost_publications() >= 5);
+    }
+
+    #[test]
+    fn delayed_views_are_historical_prefixes() {
+        // With a large delay every node still acts on *some* valid prefix;
+        // the published parents must therefore exist and the run stays
+        // deterministic.
+        let mut cfg = quick_cfg();
+        cfg.network = Some(crate::config::NetworkModel {
+            max_delay_rounds: 5,
+            publish_loss: 0.0,
+        });
+        let run = |seed: u64| {
+            let mut c = cfg.clone();
+            c.seed = seed;
+            let mut sim = Simulation::new(dataset(8), c, build);
+            for _ in 0..8 {
+                sim.round();
+            }
+            sim.tangle().len()
+        };
+        assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    fn target_misclassification_zero_for_untargeted_model() {
+        let mut sim = Simulation::new(dataset(10), quick_cfg(), build);
+        for _ in 0..10 {
+            sim.round();
+        }
+        // A benign, reasonably accurate model should rarely map 0 -> 1.
+        let mis = sim.target_misclassification(0, 1, 0);
+        assert!(mis < 0.6, "benign misclassification too high: {mis}");
+    }
+}

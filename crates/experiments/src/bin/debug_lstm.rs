@@ -1,0 +1,93 @@
+//! Scratch diagnostic: can the char LSTM learn the synthetic Shakespeare
+//! task centrally? Used to calibrate fig4 hyperparameters.
+
+use feddata::shakespeare::{generate, ShakespeareConfig};
+use tinynn::rng::seeded;
+use tinynn::{Sgd, Tensor};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let lr: f32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.4);
+    let epochs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let hidden: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let cfg = ShakespeareConfig::scaled();
+    let ds = generate(&cfg, 1);
+    // Pool all users.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut xt = Vec::new();
+    let mut yt = Vec::new();
+    for c in &ds.clients {
+        xs.extend_from_slice(c.train_x.as_slice());
+        ys.extend_from_slice(&c.train_y);
+        xt.extend_from_slice(c.test_x.as_slice());
+        yt.extend_from_slice(&c.test_y);
+    }
+    let n = ys.len() / cfg.seq_len;
+    let nt = yt.len() / cfg.seq_len;
+    let x = Tensor::from_vec(vec![n, cfg.seq_len], xs);
+    let xtest = Tensor::from_vec(vec![nt, cfg.seq_len], xt);
+    println!(
+        "pooled: {n} train sequences, {nt} test; vocab {}",
+        cfg.vocab
+    );
+
+    // Theoretical ceiling: always predict the most likely successor.
+    // Estimate from bigram counts of the training data.
+    let v = cfg.vocab;
+    let mut counts = vec![0u32; v * v];
+    for i in 0..n {
+        let seq = &x.as_slice()[i * cfg.seq_len..(i + 1) * cfg.seq_len];
+        let tgt = &ys[i * cfg.seq_len..(i + 1) * cfg.seq_len];
+        for t in 0..cfg.seq_len {
+            counts[(seq[t] as usize) * v + tgt[t] as usize] += 1;
+        }
+    }
+    let mut bigram_hits = 0u32;
+    let mut total = 0u32;
+    for i in 0..nt {
+        let seq = &xtest.as_slice()[i * cfg.seq_len..(i + 1) * cfg.seq_len];
+        let tgt = &yt[i * cfg.seq_len..(i + 1) * cfg.seq_len];
+        for t in 0..cfg.seq_len {
+            let row = &counts[(seq[t] as usize) * v..(seq[t] as usize + 1) * v];
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(j, _)| j as u32)
+                .unwrap();
+            if pred == tgt[t] {
+                bigram_hits += 1;
+            }
+            total += 1;
+        }
+    }
+    println!(
+        "bigram-table ceiling accuracy: {:.3}",
+        bigram_hits as f32 / total as f32
+    );
+
+    let mut model = tinynn::zoo::char_lstm(cfg.vocab, 8, hidden, 2, &mut seeded(2));
+    let mut sgd = Sgd::new(lr);
+    for e in 0..epochs {
+        // full-batch chunks of 32 sequences
+        let mut loss_sum = 0.0;
+        let mut batches = 0;
+        for start in (0..n).step_by(32) {
+            let end = (start + 32).min(n);
+            let xb = x.slice_batch(start, end);
+            let yb = &ys[start * cfg.seq_len..end * cfg.seq_len];
+            let (l, g) = model.loss_and_grads(&xb, yb);
+            sgd.step(&mut model, &g);
+            loss_sum += l;
+            batches += 1;
+        }
+        if e % 5 == 0 || e == epochs - 1 {
+            let (tl, ta) = model.evaluate(&xtest, &yt);
+            println!(
+                "epoch {e:>3}  train-loss {:.3}  test-loss {tl:.3}  test-acc {ta:.3}",
+                loss_sum / batches as f32
+            );
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Shared experiment infrastructure: scale selection, run loops, output.
+
+use fedavg::{FedAvg, FedAvgConfig};
+use feddata::FederatedDataset;
+use learning_tangle::metrics::{MetricPoint, MetricsLog};
+use learning_tangle::{SimConfig, Simulation};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use tinynn::Sequential;
+
+/// Whether to run the paper-scale or the laptop-scale configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down defaults (minutes on one CPU core).
+    Scaled,
+    /// The paper's population / image / round sizes (hours).
+    Paper,
+}
+
+/// Global CLI options shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Scale preset.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for JSON/DOT artifacts.
+    pub out: PathBuf,
+    /// Optional round-count override.
+    pub rounds: Option<u64>,
+}
+
+impl Opts {
+    /// Parse from the raw CLI args following the subcommand.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Opts {
+            scale: Scale::Scaled,
+            seed: 42,
+            out: PathBuf::from("results"),
+            rounds: None,
+        };
+        for a in args {
+            if a == "--paper" {
+                opts.scale = Scale::Paper;
+            } else if let Some(v) = a.strip_prefix("--seed=") {
+                opts.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            } else if let Some(v) = a.strip_prefix("--out=") {
+                opts.out = PathBuf::from(v);
+            } else if let Some(v) = a.strip_prefix("--rounds=") {
+                opts.rounds = Some(v.parse().map_err(|e| format!("bad --rounds: {e}"))?);
+            } else {
+                return Err(format!("unknown option {a}"));
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Run a learning-tangle simulation for `rounds`, evaluating the consensus
+/// model every `eval_every` rounds (and once at the end).
+///
+/// `attack_target` enables the Fig. 6b misclassification metric.
+pub fn run_tangle<'a>(
+    mut sim: Simulation<'a>,
+    rounds: u64,
+    eval_every: u64,
+    label: &str,
+    attack_target: Option<(u32, u32)>,
+    quiet: bool,
+) -> (MetricsLog, Simulation<'a>) {
+    let mut log = MetricsLog::new(label);
+    for r in 1..=rounds {
+        let stats = sim.round();
+        if r % eval_every == 0 || r == rounds {
+            let ev = sim.evaluate(r);
+            let mis = attack_target.map(|(s, d)| sim.target_misclassification(s, d, r));
+            log.push(MetricPoint {
+                round: r,
+                accuracy: ev.accuracy,
+                loss: ev.loss,
+                target_misclassification: mis,
+                tips: Some(stats.tips),
+            });
+            if !quiet {
+                println!(
+                    "  [{label}] round {r:>4}  acc {:.3}  loss {:.3}  tips {:>3}  published {}/{}{}",
+                    ev.accuracy,
+                    ev.loss,
+                    stats.tips,
+                    stats.published,
+                    stats.sampled,
+                    mis.map(|m| format!("  3->8 {:.1}%", m * 100.0)).unwrap_or_default()
+                );
+            }
+        }
+    }
+    (log, sim)
+}
+
+/// Run the FedAvg baseline for `rounds`, evaluating every `eval_every`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fedavg(
+    data: &FederatedDataset,
+    cfg: FedAvgConfig,
+    build: impl Fn() -> Sequential + Sync,
+    rounds: u64,
+    eval_every: u64,
+    eval_fraction: f32,
+    label: &str,
+    quiet: bool,
+) -> MetricsLog {
+    let mut log = MetricsLog::new(label);
+    let mut fa = FedAvg::new(data, cfg, build);
+    for r in 1..=rounds {
+        fa.round();
+        if r % eval_every == 0 || r == rounds {
+            let (loss, acc) = fa.evaluate(eval_fraction, r);
+            log.push(MetricPoint {
+                round: r,
+                accuracy: acc,
+                loss,
+                target_misclassification: None,
+                tips: None,
+            });
+            if !quiet {
+                println!("  [{label}] round {r:>4}  acc {acc:.3}  loss {loss:.3}");
+            }
+        }
+    }
+    log
+}
+
+/// Write a collection of metric series as JSON under `out/<name>.json`.
+pub fn write_json(out: &Path, name: &str, logs: &[MetricsLog]) {
+    std::fs::create_dir_all(out).expect("create output dir");
+    let path = out.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(logs).expect("serializable logs");
+    let mut f = std::fs::File::create(&path).expect("create json file");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("  wrote {}", path.display());
+}
+
+/// Print a paper-style series table: one row per evaluated round, one
+/// column per series.
+pub fn print_series_table(title: &str, logs: &[MetricsLog]) {
+    println!("\n=== {title} ===");
+    print!("{:>7}", "round");
+    for l in logs {
+        print!("  {:>18}", truncate(&l.label, 18));
+    }
+    println!();
+    let rounds: Vec<u64> = logs
+        .first()
+        .map(|l| l.points.iter().map(|p| p.round).collect())
+        .unwrap_or_default();
+    for (i, r) in rounds.iter().enumerate() {
+        print!("{r:>7}");
+        for l in logs {
+            match l.points.get(i) {
+                Some(p) => print!("  {:>18.3}", p.accuracy),
+                None => print!("  {:>18}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+/// Build a `SimConfig` shared by the tangle runs.
+pub fn sim_config(
+    nodes_per_round: usize,
+    lr: f32,
+    seed: u64,
+    hyper: learning_tangle::TangleHyperParams,
+) -> SimConfig {
+    SimConfig {
+        nodes_per_round,
+        local_epochs: 1,
+        lr,
+        batch_size: 16,
+        eval_fraction: 0.1,
+        seed,
+        hyper,
+        network: None,
+    }
+}

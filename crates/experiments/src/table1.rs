@@ -1,0 +1,75 @@
+//! Table I: characteristics of the benchmarking datasets and training
+//! parameters — printed for the configured scale, alongside the paper's
+//! original values.
+
+use crate::common::{Opts, Scale};
+use crate::presets;
+
+/// Print the Table I reproduction.
+pub fn run(opts: &Opts) {
+    let f = presets::femnist_cfg(opts.scale);
+    let s = presets::shakespeare_cfg(opts.scale);
+    let femnist = feddata::femnist::generate(&f, opts.seed);
+    let shakespeare = feddata::shakespeare::generate(&s, opts.seed);
+
+    println!("\n=== Table I: dataset characteristics and training parameters ===");
+    println!(
+        "(paper values in parentheses; this run uses the {} scale)\n",
+        match opts.scale {
+            Scale::Paper => "paper",
+            Scale::Scaled => "scaled-down",
+        }
+    );
+    let rows: Vec<(&str, String, String)> = vec![
+        (
+            "Train/Test Split",
+            format!("{:.1} (0.8)", f.train_split),
+            format!("{:.1} (0.9)", s.train_split),
+        ),
+        (
+            "Labels",
+            format!("{} (62)", f.classes),
+            format!("{} (80)", s.vocab),
+        ),
+        (
+            "Users",
+            format!("{} (3500)", f.users),
+            format!("{} (1058)", s.users),
+        ),
+        (
+            "Min Samples/User",
+            format!("{} (0)", f.samples_per_user.0),
+            format!("{} (64)", s.samples_per_user.0),
+        ),
+        (
+            "Model Type",
+            "CNN (CNN)".to_string(),
+            "Stacked LSTM (Stacked LSTM)".to_string(),
+        ),
+        (
+            "Learning Rate",
+            format!("{} (0.06)", presets::femnist_lr(opts.scale)),
+            format!("{} (0.8)", presets::shakespeare_lr(opts.scale)),
+        ),
+        ("Local Epochs", "1 (1)".to_string(), "1 (1)".to_string()),
+        (
+            "— measured train samples",
+            femnist.total_train_samples().to_string(),
+            shakespeare.total_train_samples().to_string(),
+        ),
+        (
+            "— measured test samples",
+            femnist.total_test_samples().to_string(),
+            shakespeare.total_test_samples().to_string(),
+        ),
+    ];
+    println!(
+        "{:<28} {:>24} {:>30}",
+        "", "FEMNIST (synthetic)", "Shakespeare (synthetic)"
+    );
+    for (name, a, b) in rows {
+        println!("{name:<28} {a:>24} {b:>30}");
+    }
+    println!("\n{}", femnist.summary());
+    println!("{}", shakespeare.summary());
+}

@@ -1,0 +1,88 @@
+//! Property-based tests of the aggregation rules.
+
+use fedavg::aggregate::{coordinate_median, krum_scores, trimmed_mean, Aggregator};
+use proptest::prelude::*;
+use tinynn::ParamVec;
+
+fn updates(flat: &[f32], n: usize) -> Vec<ParamVec> {
+    let dim = flat.len() / n;
+    (0..n)
+        .map(|i| ParamVec(flat[i * dim..(i + 1) * dim].to_vec()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Krum returns exactly one of its inputs.
+    #[test]
+    fn krum_selects_an_input(flat in prop::collection::vec(-100f32..100.0, 20..60)) {
+        let n = 5;
+        let dim = flat.len() / n;
+        prop_assume!(dim >= 1);
+        let vs = updates(&flat[..n * dim], n);
+        let refs: Vec<&ParamVec> = vs.iter().collect();
+        let out = Aggregator::Krum { f: 1 }.aggregate(&refs, &[1.0; 5]);
+        prop_assert!(vs.contains(&out), "krum must pick an existing update");
+    }
+
+    /// Coordinate-wise rules stay inside the coordinate-wise envelope.
+    #[test]
+    fn robust_rules_stay_in_envelope(flat in prop::collection::vec(-100f32..100.0, 24..72)) {
+        let n = 6;
+        let dim = flat.len() / n;
+        prop_assume!(dim >= 1);
+        let vs = updates(&flat[..n * dim], n);
+        let refs: Vec<&ParamVec> = vs.iter().collect();
+        let med = coordinate_median(&refs);
+        let tm = trimmed_mean(&refs, 0.2);
+        for c in 0..dim {
+            let col: Vec<f32> = vs.iter().map(|v| v.as_slice()[c]).collect();
+            let lo = col.iter().cloned().fold(f32::INFINITY, f32::min) - 1e-4;
+            let hi = col.iter().cloned().fold(f32::NEG_INFINITY, f32::max) + 1e-4;
+            prop_assert!(med.as_slice()[c] >= lo && med.as_slice()[c] <= hi);
+            prop_assert!(tm.as_slice()[c] >= lo && tm.as_slice()[c] <= hi);
+        }
+    }
+
+    /// Krum scores are permutation-equivariant: relabeling the updates
+    /// permutes the scores the same way.
+    #[test]
+    fn krum_scores_permutation_equivariant(
+        flat in prop::collection::vec(-50f32..50.0, 30),
+        swap in (0usize..6, 0usize..6),
+    ) {
+        let vs = updates(&flat, 6);
+        let refs: Vec<&ParamVec> = vs.iter().collect();
+        let base = krum_scores(&refs, 1);
+        let mut perm = vs.clone();
+        perm.swap(swap.0, swap.1);
+        let refs2: Vec<&ParamVec> = perm.iter().collect();
+        let scored = krum_scores(&refs2, 1);
+        let mut expect = base.clone();
+        expect.swap(swap.0, swap.1);
+        for (a, b) in scored.iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    /// All rules agree on identical inputs: aggregate == the common value.
+    #[test]
+    fn unanimous_inputs_pass_through(v in prop::collection::vec(-10f32..10.0, 1..16)) {
+        let p = ParamVec(v);
+        let refs = vec![&p; 6];
+        let w = [1.0f32; 6];
+        for rule in [
+            Aggregator::Mean,
+            Aggregator::Krum { f: 1 },
+            Aggregator::MultiKrum { f: 1, m: 3 },
+            Aggregator::Median,
+            Aggregator::TrimmedMean { beta: 0.2 },
+        ] {
+            let out = rule.aggregate(&refs, &w);
+            for (a, b) in out.as_slice().iter().zip(p.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-5, "{rule:?}: {a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Gaussian-blob vector classification — a fast synthetic task used by
+//! tests, examples, and the quick integration suites.
+
+use crate::dataset::{train_test_split, ClientData, DatasetMeta, FederatedDataset, TaskKind};
+use crate::partition::dirichlet_proportions;
+use rand::RngExt;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+use tinynn::rng::derive;
+use tinynn::Tensor;
+
+/// Configuration of the blob generator.
+#[derive(Clone, Debug)]
+pub struct BlobsConfig {
+    /// Number of classes (blob centers).
+    pub classes: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Number of clients.
+    pub users: usize,
+    /// Inclusive range of per-user sample counts.
+    pub samples_per_user: (usize, usize),
+    /// Train fraction.
+    pub train_split: f32,
+    /// Dirichlet α for label skew; `None` = uniform.
+    pub label_skew_alpha: Option<f64>,
+    /// Within-class standard deviation (centers live at radius ~3).
+    pub noise_std: f32,
+}
+
+impl Default for BlobsConfig {
+    fn default() -> Self {
+        Self {
+            classes: 4,
+            dim: 8,
+            users: 20,
+            samples_per_user: (12, 30),
+            train_split: 0.8,
+            label_skew_alpha: Some(0.5),
+            noise_std: 1.0,
+        }
+    }
+}
+
+/// Generate the blob dataset. Deterministic per `(cfg, seed)`.
+pub fn generate(cfg: &BlobsConfig, seed: u64) -> FederatedDataset {
+    assert!(cfg.classes >= 2 && cfg.dim >= 1 && cfg.users >= 1);
+    assert!(cfg.samples_per_user.0 >= 2);
+    // Class centers at radius ~3, shared by all clients.
+    let mut center_rng = rand::rngs::SmallRng::seed_from_u64(derive(seed, 77));
+    let unit = Normal::new(0.0f32, 1.0).expect("valid normal");
+    let centers: Vec<Vec<f32>> = (0..cfg.classes)
+        .map(|_| {
+            let mut v: Vec<f32> = (0..cfg.dim).map(|_| unit.sample(&mut center_rng)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+            for x in &mut v {
+                *x *= 3.0 / norm;
+            }
+            v
+        })
+        .collect();
+    let noise = Normal::new(0.0f32, cfg.noise_std).expect("valid noise std");
+    let clients: Vec<ClientData> = (0..cfg.users)
+        .map(|user| {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(derive(seed, 500_000 + user as u64));
+            let n = rng.random_range(cfg.samples_per_user.0..=cfg.samples_per_user.1);
+            let mix: Vec<f64> = match cfg.label_skew_alpha {
+                Some(alpha) => dirichlet_proportions(alpha, cfg.classes, &mut rng),
+                None => vec![1.0 / cfg.classes as f64; cfg.classes],
+            };
+            let mut xs = Vec::with_capacity(n * cfg.dim);
+            let mut ys = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut r = rng.random_range(0.0..1.0f64);
+                let mut class = cfg.classes - 1;
+                for (c, &p) in mix.iter().enumerate() {
+                    if r < p {
+                        class = c;
+                        break;
+                    }
+                    r -= p;
+                }
+                for &c in &centers[class] {
+                    xs.push(c + noise.sample(&mut rng));
+                }
+                ys.push(class as u32);
+            }
+            let (train_idx, test_idx) = train_test_split(n, cfg.train_split, &mut rng);
+            let take = |idx: &[usize]| {
+                let mut x = Vec::with_capacity(idx.len() * cfg.dim);
+                let mut y = Vec::with_capacity(idx.len());
+                for &i in idx {
+                    x.extend_from_slice(&xs[i * cfg.dim..(i + 1) * cfg.dim]);
+                    y.push(ys[i]);
+                }
+                (Tensor::from_vec(vec![idx.len(), cfg.dim], x), y)
+            };
+            let (train_x, train_y) = take(&train_idx);
+            let (test_x, test_y) = take(&test_idx);
+            ClientData {
+                train_x,
+                train_y,
+                test_x,
+                test_y,
+            }
+        })
+        .collect();
+    FederatedDataset {
+        meta: DatasetMeta {
+            name: format!("blobs-{}c-{}d", cfg.classes, cfg.dim),
+            classes: cfg.classes,
+            users: cfg.users,
+            train_split: cfg.train_split,
+            min_samples_per_user: cfg.samples_per_user.0,
+            task: TaskKind::Classification,
+            sample_shape: vec![cfg.dim],
+        },
+        clients,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let ds = generate(&BlobsConfig::default(), 1);
+        assert_eq!(ds.num_clients(), 20);
+        for c in &ds.clients {
+            assert_eq!(c.train_x.shape()[1], 8);
+            assert_eq!(c.train_x.shape()[0], c.train_y.len());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&BlobsConfig::default(), 3);
+        let b = generate(&BlobsConfig::default(), 3);
+        assert_eq!(a.clients[5].train_y, b.clients[5].train_y);
+    }
+
+    #[test]
+    fn linearly_separable_enough_for_mlp() {
+        let cfg = BlobsConfig {
+            users: 4,
+            samples_per_user: (40, 50),
+            noise_std: 0.5,
+            label_skew_alpha: None,
+            ..BlobsConfig::default()
+        };
+        let ds = generate(&cfg, 4);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for c in &ds.clients {
+            xs.extend_from_slice(c.train_x.as_slice());
+            ys.extend_from_slice(&c.train_y);
+        }
+        let x = Tensor::from_vec(vec![ys.len(), 8], xs);
+        let mut rng = tinynn::rng::seeded(0);
+        let mut model = tinynn::zoo::mlp(8, &[16], 4, &mut rng);
+        let mut sgd = tinynn::Sgd::new(0.2);
+        for _ in 0..60 {
+            let (_, g) = model.loss_and_grads(&x, &ys);
+            sgd.step(&mut model, &g);
+        }
+        let (_, acc) = model.evaluate(&x, &ys);
+        assert!(acc > 0.9, "blobs should be easy; got {acc}");
+    }
+}

@@ -1,0 +1,289 @@
+//! Synthetic Shakespeare: next-character prediction over per-role Markov
+//! sources.
+//!
+//! LEAF's Shakespeare dataset partitions the plays by *speaking role*; each
+//! client's text has a role-specific style. Here every role draws text from
+//! its own first-order Markov chain: a shared base transition structure
+//! (so a global model is learnable) blended with a role-specific
+//! perturbation (so clients are non-IID).
+
+use crate::dataset::{train_test_split, ClientData, DatasetMeta, FederatedDataset, TaskKind};
+use rand::RngExt;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use tinynn::rng::derive;
+use tinynn::Tensor;
+
+/// Configuration of the synthetic Shakespeare generator.
+#[derive(Clone, Debug)]
+pub struct ShakespeareConfig {
+    /// Vocabulary (alphabet) size — the paper's Table I lists 80 labels.
+    pub vocab: usize,
+    /// Number of roles (users).
+    pub users: usize,
+    /// Sequence length per sample (input length; each position predicts the
+    /// next character).
+    pub seq_len: usize,
+    /// Inclusive range of per-user sequence counts.
+    pub samples_per_user: (usize, usize),
+    /// Train fraction (paper Table I: 0.9).
+    pub train_split: f32,
+    /// How strongly each role's chain deviates from the base chain
+    /// (0 = IID across roles, 1 = fully role-specific).
+    pub role_bias: f64,
+    /// Probability mass of each character's dominant successor in the base
+    /// chain — the task's learnable signal (and its accuracy ceiling).
+    pub dominance: f64,
+    /// How many preferred successors each character has in the base chain.
+    pub branching: usize,
+}
+
+impl ShakespeareConfig {
+    /// Scaled-down default: 30 symbols, 60 roles, length-16 sequences.
+    pub fn scaled() -> Self {
+        Self {
+            vocab: 30,
+            users: 60,
+            seq_len: 16,
+            samples_per_user: (16, 40),
+            train_split: 0.9,
+            role_bias: 0.2,
+            dominance: 0.7,
+            branching: 3,
+        }
+    }
+
+    /// Paper-scale parameters (Table I): 80 labels, 1058 users, minimum 64
+    /// samples per user.
+    pub fn paper() -> Self {
+        Self {
+            vocab: 80,
+            users: 1058,
+            seq_len: 80,
+            samples_per_user: (64, 256),
+            train_split: 0.9,
+            role_bias: 0.3,
+            dominance: 0.6,
+            branching: 6,
+        }
+    }
+}
+
+/// A row-stochastic transition matrix stored flat `[vocab * vocab]`.
+struct Chain {
+    vocab: usize,
+    rows: Vec<f64>,
+}
+
+impl Chain {
+    fn sample_next(&self, cur: usize, rng: &mut impl RngExt) -> usize {
+        let row = &self.rows[cur * self.vocab..(cur + 1) * self.vocab];
+        let mut r = rng.random_range(0.0..1.0f64);
+        for (j, &p) in row.iter().enumerate() {
+            if r < p {
+                return j;
+            }
+            r -= p;
+        }
+        self.vocab - 1
+    }
+}
+
+/// Build the shared base chain: each symbol strongly prefers a few
+/// successors (one dominant), giving the structure an LSTM can learn.
+fn base_chain(cfg: &ShakespeareConfig, seed: u64) -> Chain {
+    let v = cfg.vocab;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(derive(seed, 10));
+    let mut rows = vec![0.0f64; v * v];
+    for c in 0..v {
+        let row = &mut rows[c * v..(c + 1) * v];
+        // background mass
+        for p in row.iter_mut() {
+            *p = 0.2 / v as f64;
+        }
+        // dominant successor gets most of the mass, a few others share the rest
+        let dominant = rng.random_range(0..v);
+        row[dominant] += cfg.dominance;
+        for _ in 0..cfg.branching.saturating_sub(1) {
+            let s = rng.random_range(0..v);
+            row[s] += (0.8 - cfg.dominance).max(0.05) / (cfg.branching - 1).max(1) as f64;
+        }
+        let total: f64 = row.iter().sum();
+        for p in row.iter_mut() {
+            *p /= total;
+        }
+    }
+    Chain { vocab: v, rows }
+}
+
+/// Blend the base chain with a role-specific chain.
+fn role_chain(cfg: &ShakespeareConfig, base: &Chain, seed: u64, user: usize) -> Chain {
+    let v = cfg.vocab;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(derive(seed, 100_000 + user as u64));
+    let mut rows = base.rows.clone();
+    for c in 0..v {
+        let row = &mut rows[c * v..(c + 1) * v];
+        // Role-specific preferred successor for this character.
+        let pref = rng.random_range(0..v);
+        for p in row.iter_mut() {
+            *p *= 1.0 - cfg.role_bias;
+        }
+        row[pref] += cfg.role_bias;
+    }
+    Chain { vocab: v, rows }
+}
+
+/// Generate the full federated dataset. Deterministic per `(cfg, seed)`.
+///
+/// Inputs are `[N, seq_len]` tensors of token ids (stored as `f32`);
+/// targets are the next character at each position, flattened to
+/// `N · seq_len` entries — exactly what [`tinynn::zoo::char_lstm`] expects.
+pub fn generate(cfg: &ShakespeareConfig, seed: u64) -> FederatedDataset {
+    assert!(cfg.vocab >= 2 && cfg.seq_len >= 2);
+    assert!(
+        cfg.samples_per_user.0 >= 2,
+        "users need >= 2 sequences to split"
+    );
+    let base = base_chain(cfg, seed);
+    let clients: Vec<ClientData> = (0..cfg.users)
+        .into_par_iter()
+        .map(|user| {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(derive(seed, 200_000 + user as u64));
+            let chain = role_chain(cfg, &base, seed, user);
+            let n = rng.random_range(cfg.samples_per_user.0..=cfg.samples_per_user.1);
+            // Generate n sequences of seq_len + 1 characters.
+            let mut inputs = Vec::with_capacity(n * cfg.seq_len);
+            let mut targets: Vec<Vec<u32>> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut cur = rng.random_range(0..cfg.vocab);
+                let mut seq_targets = Vec::with_capacity(cfg.seq_len);
+                for _ in 0..cfg.seq_len {
+                    inputs.push(cur as f32);
+                    cur = chain.sample_next(cur, &mut rng);
+                    seq_targets.push(cur as u32);
+                }
+                targets.push(seq_targets);
+            }
+            let (train_idx, test_idx) = train_test_split(n, cfg.train_split, &mut rng);
+            let take = |idx: &[usize]| {
+                let mut x = Vec::with_capacity(idx.len() * cfg.seq_len);
+                let mut y = Vec::with_capacity(idx.len() * cfg.seq_len);
+                for &i in idx {
+                    x.extend_from_slice(&inputs[i * cfg.seq_len..(i + 1) * cfg.seq_len]);
+                    y.extend_from_slice(&targets[i]);
+                }
+                (Tensor::from_vec(vec![idx.len(), cfg.seq_len], x), y)
+            };
+            let (train_x, train_y) = take(&train_idx);
+            let (test_x, test_y) = take(&test_idx);
+            ClientData {
+                train_x,
+                train_y,
+                test_x,
+                test_y,
+            }
+        })
+        .collect();
+    FederatedDataset {
+        meta: DatasetMeta {
+            name: format!("synthetic-shakespeare-{}v", cfg.vocab),
+            classes: cfg.vocab,
+            users: cfg.users,
+            train_split: cfg.train_split,
+            min_samples_per_user: cfg.samples_per_user.0,
+            task: TaskKind::SequencePrediction,
+            sample_shape: vec![cfg.seq_len],
+        },
+        clients,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ShakespeareConfig {
+        ShakespeareConfig {
+            vocab: 8,
+            users: 5,
+            seq_len: 6,
+            samples_per_user: (4, 8),
+            train_split: 0.75,
+            role_bias: 0.3,
+            dominance: 0.55,
+            branching: 3,
+        }
+    }
+
+    #[test]
+    fn shapes_and_targets() {
+        let ds = generate(&tiny(), 1);
+        assert_eq!(ds.num_clients(), 5);
+        for c in &ds.clients {
+            let n = c.train_x.shape()[0];
+            assert_eq!(c.train_x.shape(), &[n, 6]);
+            assert_eq!(c.train_y.len(), n * 6, "one target per position");
+            assert!(c.train_y.iter().all(|&t| t < 8));
+            assert!(c
+                .train_x
+                .as_slice()
+                .iter()
+                .all(|&v| (0.0..8.0).contains(&v) && v.fract() == 0.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&tiny(), 5);
+        let b = generate(&tiny(), 5);
+        assert_eq!(a.clients[2].train_y, b.clients[2].train_y);
+    }
+
+    #[test]
+    fn targets_shifted_inputs() {
+        // target[t] must equal input[t+1] within a sequence.
+        let ds = generate(&tiny(), 9);
+        let c = &ds.clients[0];
+        let n = c.train_x.shape()[0];
+        for i in 0..n {
+            let xs = &c.train_x.as_slice()[i * 6..(i + 1) * 6];
+            let ys = &c.train_y[i * 6..(i + 1) * 6];
+            for t in 0..5 {
+                assert_eq!(xs[t + 1] as u32, ys[t]);
+            }
+        }
+    }
+
+    #[test]
+    fn base_chain_rows_are_stochastic() {
+        let cfg = tiny();
+        let chain = base_chain(&cfg, 3);
+        for c in 0..cfg.vocab {
+            let s: f64 = chain.rows[c * cfg.vocab..(c + 1) * cfg.vocab].iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn chain_has_learnable_structure() {
+        // The dominant successor should carry well above uniform mass.
+        let cfg = tiny();
+        let chain = base_chain(&cfg, 4);
+        for c in 0..cfg.vocab {
+            let max = chain.rows[c * cfg.vocab..(c + 1) * cfg.vocab]
+                .iter()
+                .cloned()
+                .fold(0.0f64, f64::max);
+            assert!(max > 2.0 / cfg.vocab as f64, "row {c} nearly uniform");
+        }
+    }
+
+    #[test]
+    fn roles_differ() {
+        let cfg = tiny();
+        let base = base_chain(&cfg, 6);
+        let a = role_chain(&cfg, &base, 6, 0);
+        let b = role_chain(&cfg, &base, 6, 1);
+        assert_ne!(a.rows, b.rows);
+    }
+}

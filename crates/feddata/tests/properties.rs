@@ -1,0 +1,142 @@
+//! Property-based tests of the dataset generators: structural invariants
+//! that must hold for every configuration and seed.
+
+use feddata::blobs::BlobsConfig;
+use feddata::sensors::SensorsConfig;
+use feddata::shakespeare::ShakespeareConfig;
+use feddata::{FederatedDataset, TaskKind};
+use proptest::prelude::*;
+
+/// Invariants every federated dataset must satisfy.
+fn check_dataset(ds: &FederatedDataset) -> Result<(), TestCaseError> {
+    prop_assert_eq!(ds.clients.len(), ds.meta.users);
+    let stride: usize = ds.meta.sample_shape.iter().product();
+    for c in &ds.clients {
+        // shapes line up with the metadata
+        prop_assert_eq!(
+            c.train_x.shape()[1..].iter().product::<usize>(),
+            stride,
+            "train sample shape mismatch"
+        );
+        // labels within range, one target row per prediction position
+        let rows_per_sample = match ds.meta.task {
+            TaskKind::Classification => 1,
+            TaskKind::SequencePrediction => ds.meta.sample_shape[0],
+        };
+        prop_assert_eq!(c.train_y.len(), c.train_len() * rows_per_sample);
+        prop_assert_eq!(c.test_y.len(), c.test_len() * rows_per_sample);
+        for &y in c.train_y.iter().chain(&c.test_y) {
+            prop_assert!((y as usize) < ds.meta.classes);
+        }
+        // everyone can train and validate
+        prop_assert!(c.train_len() >= 1);
+        prop_assert!(c.test_len() >= 1);
+        // all features are finite
+        for &v in c.train_x.as_slice().iter().chain(c.test_x.as_slice()) {
+            prop_assert!(v.is_finite());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn blobs_invariants(
+        users in 1usize..12,
+        classes in 2usize..6,
+        dim in 1usize..10,
+        alpha in prop::option::of(0.1f64..5.0),
+        seed in any::<u64>(),
+    ) {
+        let ds = feddata::blobs::generate(
+            &BlobsConfig {
+                users,
+                classes,
+                dim,
+                label_skew_alpha: alpha,
+                samples_per_user: (4, 10),
+                ..BlobsConfig::default()
+            },
+            seed,
+        );
+        check_dataset(&ds)?;
+    }
+
+    #[test]
+    fn sensors_invariants(
+        users in 1usize..10,
+        classes in 2usize..6,
+        window in 4usize..40,
+        seed in any::<u64>(),
+    ) {
+        let ds = feddata::sensors::generate(
+            &SensorsConfig {
+                users,
+                classes,
+                window,
+                samples_per_user: (4, 8),
+                ..SensorsConfig::default()
+            },
+            seed,
+        );
+        check_dataset(&ds)?;
+    }
+
+    #[test]
+    fn shakespeare_invariants(
+        users in 1usize..8,
+        vocab in 4usize..20,
+        seq_len in 2usize..12,
+        seed in any::<u64>(),
+    ) {
+        let ds = feddata::shakespeare::generate(
+            &ShakespeareConfig {
+                users,
+                vocab,
+                seq_len,
+                samples_per_user: (3, 6),
+                ..ShakespeareConfig::scaled()
+            },
+            seed,
+        );
+        check_dataset(&ds)?;
+        // next-char structure: target t equals input t+1 inside a sequence
+        let c = &ds.clients[0];
+        let n = c.train_len();
+        for i in 0..n {
+            let xs = &c.train_x.as_slice()[i * seq_len..(i + 1) * seq_len];
+            let ys = &c.train_y[i * seq_len..(i + 1) * seq_len];
+            for t in 0..seq_len - 1 {
+                prop_assert_eq!(xs[t + 1] as u32, ys[t]);
+            }
+        }
+    }
+
+    #[test]
+    fn femnist_invariants(
+        users in 1usize..8,
+        classes in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let ds = feddata::femnist::generate(
+            &feddata::femnist::FemnistConfig {
+                users,
+                classes,
+                img: 8,
+                samples_per_user: (4, 8),
+                strokes: 3,
+                ..feddata::femnist::FemnistConfig::scaled()
+            },
+            seed,
+        );
+        check_dataset(&ds)?;
+        // pixel values stay in [0, 1]
+        for c in &ds.clients {
+            for &v in c.train_x.as_slice() {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

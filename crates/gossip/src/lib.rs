@@ -1,0 +1,33 @@
+//! # tangle-gossip — the learning tangle over a simulated P2P network
+//!
+//! The paper's prototype keeps one global tangle and round-based
+//! visibility; its outlook (§VI) asks for the concept to be "translated
+//! into a distributed implementation which can be benchmarked in a
+//! simulation environment, thereby considering faults introduced by
+//! real-world network conditions". This crate is that simulation:
+//!
+//! * [`message`] — content-addressed wire transactions: the payload is the
+//!   checksummed `tinynn::wire` encoding of the parameters, the id is a
+//!   digest over payload + parents + issuer + nonce, and publication can be
+//!   gated by hashcash proof-of-work (the Sybil defense of §IV).
+//! * [`peer`] — each peer maintains its own [`tangle_ledger::Tangle`]
+//!   replica, translating content ids to local ids, buffering *orphans*
+//!   (transactions whose parents haven't arrived yet) and rejecting
+//!   duplicates, malformed payloads, and invalid proofs-of-work.
+//! * [`network`] — a discrete-event message simulator: configurable
+//!   topology (full mesh / ring / random regular), per-link latency,
+//!   message loss, and partitions with explicit anti-entropy
+//!   synchronization on heal.
+//! * [`learn`] — decentralized training over the gossip network: peers run
+//!   the paper's Algorithm 2 against their *own replica* and publish the
+//!   result as a gossip broadcast; replicas converge to a common consensus
+//!   model despite latency, loss, and partitions.
+
+pub mod learn;
+pub mod message;
+pub mod network;
+pub mod peer;
+
+pub use message::{ContentId, TxMessage};
+pub use network::{Latency, Network, NetworkConfig, Topology};
+pub use peer::{Peer, ReceiveOutcome};

@@ -1,0 +1,195 @@
+//! Content-addressed wire transactions.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tangle_ledger::pow;
+use tinynn::{wire, ParamVec};
+
+/// Globally unique, content-derived transaction identifier. Unlike the
+/// per-replica [`tangle_ledger::TxId`] (an insertion index), a `ContentId`
+/// is identical on every peer, so peers can reference parents before
+/// inserting them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentId(pub u64);
+
+impl std::fmt::Display for ContentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cid:{:016x}", self.0)
+    }
+}
+
+/// A transaction as it travels the network.
+#[derive(Clone, Debug)]
+pub struct TxMessage {
+    /// Parents referenced by content id (empty only for the genesis).
+    pub parents: Vec<ContentId>,
+    /// Issuing node.
+    pub issuer: u64,
+    /// Issuer-local logical time (diagnostic only).
+    pub slot: u64,
+    /// `tinynn::wire`-encoded model parameters.
+    pub payload: Bytes,
+    /// Hashcash nonce over the message digest.
+    pub nonce: u64,
+}
+
+impl TxMessage {
+    /// Build a message from parameters, solving proof-of-work at
+    /// `difficulty` leading zero bits (0 = disabled).
+    pub fn create(
+        params: &ParamVec,
+        parents: Vec<ContentId>,
+        issuer: u64,
+        slot: u64,
+        difficulty: u32,
+    ) -> Self {
+        let payload = wire::encode(params);
+        let base = Self {
+            parents,
+            issuer,
+            slot,
+            payload,
+            nonce: 0,
+        };
+        let nonce = pow::solve(base.pow_digest(), difficulty);
+        Self { nonce, ..base }
+    }
+
+    /// The digest the proof-of-work covers: everything except the nonce.
+    fn pow_digest(&self) -> u64 {
+        let mut buf = BytesMut::with_capacity(8 * (self.parents.len() + 2) + self.payload.len());
+        for p in &self.parents {
+            buf.put_u64_le(p.0);
+        }
+        buf.put_u64_le(self.issuer);
+        buf.put_u64_le(self.slot);
+        buf.put_slice(&self.payload);
+        pow::digest(&buf)
+    }
+
+    /// Content id: digest over the full message including the nonce, so
+    /// identical content hashes identically on every peer.
+    pub fn content_id(&self) -> ContentId {
+        let mut buf = [0u8; 16];
+        buf[..8].copy_from_slice(&self.pow_digest().to_le_bytes());
+        buf[8..].copy_from_slice(&self.nonce.to_le_bytes());
+        ContentId(pow::digest(&buf))
+    }
+
+    /// Check the proof-of-work at the given difficulty.
+    pub fn verify_pow(&self, difficulty: u32) -> bool {
+        pow::verify(self.pow_digest(), self.nonce, difficulty)
+    }
+
+    /// Decode the carried parameters, validating the payload checksum.
+    pub fn decode_params(&self) -> Result<ParamVec, wire::WireError> {
+        wire::decode(&self.payload)
+    }
+
+    /// Serialize the whole message to bytes (length-prefixed fields).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(
+            4 + 8 * self.parents.len() + 8 + 8 + 8 + 4 + self.payload.len(),
+        );
+        buf.put_u32_le(self.parents.len() as u32);
+        for p in &self.parents {
+            buf.put_u64_le(p.0);
+        }
+        buf.put_u64_le(self.issuer);
+        buf.put_u64_le(self.slot);
+        buf.put_u64_le(self.nonce);
+        buf.put_u32_le(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Deserialize a message; `None` on malformed framing.
+    pub fn decode(mut b: &[u8]) -> Option<Self> {
+        if b.len() < 4 {
+            return None;
+        }
+        let np = b.get_u32_le() as usize;
+        if b.len() < np * 8 + 8 + 8 + 8 + 4 {
+            return None;
+        }
+        let parents = (0..np).map(|_| ContentId(b.get_u64_le())).collect();
+        let issuer = b.get_u64_le();
+        let slot = b.get_u64_le();
+        let nonce = b.get_u64_le();
+        let plen = b.get_u32_le() as usize;
+        if b.len() != plen {
+            return None;
+        }
+        Some(Self {
+            parents,
+            issuer,
+            slot,
+            payload: Bytes::copy_from_slice(b),
+            nonce,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ParamVec {
+        ParamVec(vec![1.0, -2.0, 3.5])
+    }
+
+    #[test]
+    fn content_id_is_deterministic_and_content_sensitive() {
+        let a = TxMessage::create(&params(), vec![ContentId(1)], 7, 0, 0);
+        let b = TxMessage::create(&params(), vec![ContentId(1)], 7, 0, 0);
+        assert_eq!(a.content_id(), b.content_id());
+        let c = TxMessage::create(&params(), vec![ContentId(2)], 7, 0, 0);
+        assert_ne!(a.content_id(), c.content_id());
+        let d = TxMessage::create(&ParamVec(vec![9.0]), vec![ContentId(1)], 7, 0, 0);
+        assert_ne!(a.content_id(), d.content_id());
+    }
+
+    #[test]
+    fn pow_gating() {
+        let m = TxMessage::create(&params(), vec![], 1, 0, 10);
+        assert!(m.verify_pow(10));
+        assert!(m.verify_pow(0));
+        let forged = TxMessage {
+            nonce: m.nonce + 1,
+            ..m.clone()
+        };
+        // overwhelmingly likely to fail at difficulty 10
+        assert!(!forged.verify_pow(10) || forged.nonce == m.nonce);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = TxMessage::create(&params(), vec![ContentId(5), ContentId(9)], 3, 11, 4);
+        let enc = m.encode();
+        let d = TxMessage::decode(&enc).expect("valid frame");
+        assert_eq!(d.parents, m.parents);
+        assert_eq!(d.issuer, 3);
+        assert_eq!(d.slot, 11);
+        assert_eq!(d.nonce, m.nonce);
+        assert_eq!(d.content_id(), m.content_id());
+        assert_eq!(d.decode_params().unwrap(), params());
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        let m = TxMessage::create(&params(), vec![ContentId(5)], 3, 0, 0);
+        let enc = m.encode();
+        assert!(TxMessage::decode(&enc[..3]).is_none());
+        assert!(TxMessage::decode(&enc[..enc.len() - 1]).is_none());
+        assert!(TxMessage::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let m = TxMessage::create(&params(), vec![], 1, 0, 0);
+        let mut enc = m.encode().to_vec();
+        let n = enc.len();
+        enc[n - 10] ^= 0x20; // inside the wire payload values
+        let d = TxMessage::decode(&enc).expect("framing still valid");
+        assert!(d.decode_params().is_err(), "checksum must catch corruption");
+    }
+}

@@ -1,0 +1,484 @@
+//! Discrete-event gossip network simulator.
+
+use crate::message::TxMessage;
+use crate::peer::{Peer, ReceiveOutcome};
+use rand::RngExt;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tinynn::rng::{derive, seeded};
+
+/// Connection structure between peers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Every peer connects to every other peer.
+    FullMesh,
+    /// Peers form a cycle (worst-case diameter).
+    Ring,
+    /// Each peer gets `degree` random distinct neighbours (undirected).
+    RandomRegular {
+        /// Neighbour count per peer (approximate: construction is by
+        /// repeated random matching, self-loops and duplicates skipped).
+        degree: usize,
+    },
+}
+
+/// Per-link latency range in ticks (inclusive).
+#[derive(Clone, Copy, Debug)]
+pub struct Latency {
+    /// Minimum delivery delay.
+    pub min: u64,
+    /// Maximum delivery delay.
+    pub max: u64,
+}
+
+/// Network configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkConfig {
+    /// Connection structure.
+    pub topology: Topology,
+    /// Per-hop latency.
+    pub latency: Latency,
+    /// Per-hop message loss probability.
+    pub loss: f64,
+    /// Required proof-of-work difficulty for admission (0 = off).
+    pub pow_difficulty: u32,
+    /// Seed for latency, loss, and topology randomness.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            topology: Topology::FullMesh,
+            latency: Latency { min: 1, max: 3 },
+            loss: 0.0,
+            pow_difficulty: 0,
+            seed: 0,
+        }
+    }
+}
+
+struct Event {
+    at: u64,
+    seq: u64,
+    from: usize,
+    to: usize,
+    msg: TxMessage,
+}
+
+/// Running statistics of the simulated network.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    /// Messages delivered to a peer.
+    pub delivered: u64,
+    /// Messages dropped by the loss model or a partition.
+    pub dropped: u64,
+    /// Deliveries that were duplicates at the receiver.
+    pub duplicates: u64,
+    /// Deliveries buffered as orphans.
+    pub orphaned: u64,
+}
+
+/// A gossip network of peers, each holding its own tangle replica.
+///
+/// Messages published by a peer flood the topology: every peer forwards a
+/// first-seen valid message to all neighbours except the link it arrived
+/// on. Delivery order is randomized by per-hop latency, so replicas see
+/// different insertion orders (and rely on orphan buffering), yet converge
+/// to the same transaction set.
+pub struct Network {
+    peers: Vec<Peer>,
+    adj: Vec<Vec<usize>>,
+    queue: BinaryHeap<Reverse<(u64, u64)>>,
+    events: std::collections::HashMap<u64, Event>,
+    now: u64,
+    seq: u64,
+    rng: tinynn::rng::Rng,
+    /// Partition group per peer; messages crossing groups are dropped.
+    groups: Vec<usize>,
+    cfg: NetworkConfig,
+    /// Statistics.
+    pub stats: NetStats,
+}
+
+impl Network {
+    /// Build a network of `n` peers sharing the same `genesis` message.
+    pub fn new(n: usize, genesis: &TxMessage, cfg: NetworkConfig) -> Self {
+        assert!(n >= 2, "need at least two peers");
+        let peers = (0..n)
+            .map(|i| Peer::new(i, genesis, cfg.pow_difficulty))
+            .collect();
+        let mut rng = seeded(derive(cfg.seed, 0x6055));
+        let adj = build_topology(n, cfg.topology, &mut rng);
+        Self {
+            peers,
+            adj,
+            queue: BinaryHeap::new(),
+            events: std::collections::HashMap::new(),
+            now: 0,
+            seq: 0,
+            rng,
+            groups: vec![0; n],
+            cfg,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Current simulated time (ticks).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The peers (and their replicas).
+    pub fn peers(&self) -> &[Peer] {
+        &self.peers
+    }
+
+    /// One peer.
+    pub fn peer(&self, i: usize) -> &Peer {
+        &self.peers[i]
+    }
+
+    /// Neighbours of peer `i`.
+    pub fn neighbours(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Publish a message from `origin`: the origin inserts it immediately
+    /// and gossips it to its neighbours.
+    pub fn publish(&mut self, origin: usize, msg: TxMessage) {
+        let outcome = self.peers[origin].receive(&msg);
+        if outcome == ReceiveOutcome::Accepted || outcome == ReceiveOutcome::OrphanBuffered {
+            self.forward(origin, usize::MAX, msg);
+        }
+    }
+
+    fn forward(&mut self, from: usize, came_from: usize, msg: TxMessage) {
+        let neighbours = self.adj[from].clone();
+        for to in neighbours {
+            if to == came_from {
+                continue;
+            }
+            if self.groups[from] != self.groups[to] {
+                self.stats.dropped += 1;
+                continue;
+            }
+            if self.cfg.loss > 0.0 && self.rng.random_range(0.0..1.0) < self.cfg.loss {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let delay = self.rng.random_range(
+                self.cfg.latency.min..=self.cfg.latency.max.max(self.cfg.latency.min),
+            );
+            self.seq += 1;
+            let key = self.seq;
+            self.queue.push(Reverse((self.now + delay, key)));
+            self.events.insert(
+                key,
+                Event {
+                    at: self.now + delay,
+                    seq: key,
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+
+    /// Deliver the next in-flight message. Returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse((at, key))) = self.queue.pop() else {
+            return false;
+        };
+        let ev = self.events.remove(&key).expect("event recorded");
+        debug_assert_eq!(ev.at, at);
+        debug_assert_eq!(ev.seq, key);
+        self.now = self.now.max(at);
+        self.stats.delivered += 1;
+        match self.peers[ev.to].receive(&ev.msg) {
+            ReceiveOutcome::Accepted => self.forward(ev.to, ev.from, ev.msg),
+            ReceiveOutcome::OrphanBuffered => {
+                self.stats.orphaned += 1;
+                self.forward(ev.to, ev.from, ev.msg);
+            }
+            ReceiveOutcome::Duplicate => self.stats.duplicates += 1,
+            ReceiveOutcome::InvalidPow | ReceiveOutcome::Corrupt => {}
+        }
+        true
+    }
+
+    /// Deliver everything currently in flight (and whatever it triggers).
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        let mut steps = 0;
+        while self.step() {
+            steps += 1;
+        }
+        steps
+    }
+
+    /// Advance simulated time by `ticks`, delivering only the messages due
+    /// in that window (later messages stay in flight — this is what makes
+    /// peer views genuinely stale during learning).
+    pub fn advance(&mut self, ticks: u64) -> u64 {
+        let horizon = self.now + ticks;
+        let mut steps = 0;
+        while let Some(Reverse((at, _))) = self.queue.peek() {
+            if *at > horizon {
+                break;
+            }
+            self.step();
+            steps += 1;
+        }
+        self.now = horizon;
+        steps
+    }
+
+    /// Split the network: peers keep talking only within their group.
+    /// `group_of[i]` assigns peer `i` to a group.
+    pub fn partition(&mut self, group_of: Vec<usize>) {
+        assert_eq!(group_of.len(), self.peers.len());
+        self.groups = group_of;
+    }
+
+    /// Remove the partition. Does *not* synchronize by itself — call
+    /// [`Self::anti_entropy`] to exchange missed transactions.
+    pub fn heal(&mut self) {
+        self.groups = vec![0; self.peers.len()];
+    }
+
+    /// Pairwise anti-entropy: every peer offers every neighbour all
+    /// transactions the neighbour has not seen. Runs until no new
+    /// transaction moves (handles multi-hop repair on sparse topologies).
+    pub fn anti_entropy(&mut self) {
+        loop {
+            let mut moved = false;
+            for a in 0..self.peers.len() {
+                for bi in 0..self.adj[a].len() {
+                    let b = self.adj[a][bi];
+                    if self.groups[a] != self.groups[b] {
+                        continue;
+                    }
+                    let to_send: Vec<TxMessage> = self.peers[a]
+                        .export_messages()
+                        .into_iter()
+                        .filter(|m| !self.peers[b].has_seen(m.content_id()))
+                        .collect();
+                    for m in to_send {
+                        if self.peers[b].receive(&m) == ReceiveOutcome::Accepted {
+                            moved = true;
+                        }
+                    }
+                }
+            }
+            if !moved {
+                return;
+            }
+        }
+    }
+
+    /// Are all replicas identical as transaction sets?
+    pub fn replicas_consistent(&self) -> bool {
+        let n0 = self.peers[0].len();
+        if self.peers.iter().any(|p| p.len() != n0) {
+            return false;
+        }
+        for i in 0..n0 {
+            let cid = self.peers[0].content_id_of(tangle_ledger::TxId(i as u32));
+            if self.peers.iter().any(|p| p.lookup(cid).is_none()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn build_topology(n: usize, topology: Topology, rng: &mut tinynn::rng::Rng) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); n];
+    let connect = |a: usize, b: usize, adj: &mut Vec<Vec<usize>>| {
+        if a != b && !adj[a].contains(&b) {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    };
+    match topology {
+        Topology::FullMesh => {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    connect(a, b, &mut adj);
+                }
+            }
+        }
+        Topology::Ring => {
+            for a in 0..n {
+                connect(a, (a + 1) % n, &mut adj);
+            }
+        }
+        Topology::RandomRegular { degree } => {
+            // Ring backbone guarantees connectivity, then random chords.
+            for a in 0..n {
+                connect(a, (a + 1) % n, &mut adj);
+            }
+            for a in 0..n {
+                while adj[a].len() < degree.max(2) {
+                    let b = rng.random_range(0..n);
+                    if b == a || adj[a].contains(&b) {
+                        // avoid infinite loops on tiny networks
+                        if adj[a].len() + 1 >= n {
+                            break;
+                        }
+                        continue;
+                    }
+                    connect(a, b, &mut adj);
+                }
+            }
+        }
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ContentId;
+    use tinynn::ParamVec;
+
+    fn genesis() -> TxMessage {
+        TxMessage::create(&ParamVec(vec![0.0]), vec![], u64::MAX, 0, 0)
+    }
+
+    fn msg(parents: Vec<ContentId>, issuer: u64, v: f32) -> TxMessage {
+        TxMessage::create(&ParamVec(vec![v]), parents, issuer, 0, 0)
+    }
+
+    #[test]
+    fn flood_reaches_every_peer_on_mesh() {
+        let g = genesis();
+        let mut net = Network::new(6, &g, NetworkConfig::default());
+        let a = msg(vec![g.content_id()], 0, 1.0);
+        net.publish(0, a.clone());
+        net.run_to_quiescence();
+        for p in net.peers() {
+            assert_eq!(p.len(), 2, "peer {} missing the broadcast", p.id);
+            assert!(p.lookup(a.content_id()).is_some());
+        }
+        assert!(net.replicas_consistent());
+        assert!(net.stats.delivered > 0);
+        assert!(net.stats.duplicates > 0, "mesh flooding creates duplicates");
+    }
+
+    #[test]
+    fn ring_topology_converges_despite_diameter() {
+        let g = genesis();
+        let mut net = Network::new(
+            8,
+            &g,
+            NetworkConfig {
+                topology: Topology::Ring,
+                ..NetworkConfig::default()
+            },
+        );
+        // chain of three transactions published from different peers
+        let a = msg(vec![g.content_id()], 0, 1.0);
+        let b = msg(vec![a.content_id()], 3, 2.0);
+        net.publish(0, a);
+        net.publish(3, b); // peer 3 buffers b as orphan until a arrives
+        net.run_to_quiescence();
+        assert!(net.replicas_consistent());
+        assert_eq!(net.peer(5).len(), 3);
+    }
+
+    #[test]
+    fn out_of_order_delivery_handled_by_orphans() {
+        let g = genesis();
+        let mut net = Network::new(
+            4,
+            &g,
+            NetworkConfig {
+                latency: Latency { min: 1, max: 20 },
+                seed: 9,
+                ..NetworkConfig::default()
+            },
+        );
+        let a = msg(vec![g.content_id()], 0, 1.0);
+        let b = msg(vec![a.content_id()], 0, 2.0);
+        let c = msg(vec![b.content_id()], 0, 3.0);
+        net.publish(0, a);
+        net.publish(0, b);
+        net.publish(0, c);
+        net.run_to_quiescence();
+        assert!(net.replicas_consistent());
+        for p in net.peers() {
+            assert_eq!(p.len(), 4);
+            assert_eq!(p.orphan_count(), 0);
+        }
+    }
+
+    #[test]
+    fn loss_repaired_by_anti_entropy() {
+        let g = genesis();
+        let mut net = Network::new(
+            5,
+            &g,
+            NetworkConfig {
+                topology: Topology::Ring,
+                loss: 0.6,
+                seed: 4,
+                ..NetworkConfig::default()
+            },
+        );
+        for i in 0..6u64 {
+            let tip = net.peer(0).replica().tips()[0];
+            let cid = net.peer(0).content_id_of(tip);
+            net.publish(0, msg(vec![cid], i, i as f32));
+            net.run_to_quiescence();
+        }
+        assert!(net.stats.dropped > 0, "loss model should drop something");
+        net.anti_entropy();
+        assert!(net.replicas_consistent(), "anti-entropy must repair losses");
+        assert_eq!(net.peer(4).len(), 7);
+    }
+
+    #[test]
+    fn partition_diverges_then_heals() {
+        let g = genesis();
+        let mut net = Network::new(6, &g, NetworkConfig::default());
+        net.partition(vec![0, 0, 0, 1, 1, 1]);
+        let a = msg(vec![g.content_id()], 0, 1.0);
+        let b = msg(vec![g.content_id()], 5, 2.0);
+        net.publish(0, a.clone());
+        net.publish(5, b.clone());
+        net.run_to_quiescence();
+        // each side only has its own transaction
+        assert!(net.peer(1).lookup(a.content_id()).is_some());
+        assert!(net.peer(1).lookup(b.content_id()).is_none());
+        assert!(net.peer(4).lookup(b.content_id()).is_some());
+        assert!(net.peer(4).lookup(a.content_id()).is_none());
+        assert!(!net.replicas_consistent());
+        net.heal();
+        net.anti_entropy();
+        assert!(net.replicas_consistent(), "heal + sync must reconcile");
+        assert_eq!(net.peer(0).len(), 3);
+    }
+
+    #[test]
+    fn random_regular_topology_is_connected() {
+        let g = genesis();
+        let mut net = Network::new(
+            10,
+            &g,
+            NetworkConfig {
+                topology: Topology::RandomRegular { degree: 3 },
+                seed: 2,
+                ..NetworkConfig::default()
+            },
+        );
+        for i in 0..10 {
+            assert!(!net.neighbours(i).is_empty());
+        }
+        let a = msg(vec![g.content_id()], 0, 1.0);
+        net.publish(0, a);
+        net.run_to_quiescence();
+        assert!(net.replicas_consistent());
+    }
+}

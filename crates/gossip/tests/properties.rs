@@ -1,0 +1,131 @@
+//! Property-based tests of the gossip substrate: wire framing, peer
+//! replica convergence under arbitrary delivery orders, and network
+//! consistency under arbitrary publish schedules.
+
+use proptest::prelude::*;
+use tangle_gossip::message::{ContentId, TxMessage};
+use tangle_gossip::network::{Latency, Network, NetworkConfig, Topology};
+use tangle_gossip::peer::{Peer, ReceiveOutcome};
+use tinynn::ParamVec;
+
+fn genesis() -> TxMessage {
+    TxMessage::create(&ParamVec(vec![0.0, 0.0]), vec![], u64::MAX, 0, 0)
+}
+
+/// Build a chain/dag of messages from a script: entry `i` picks its two
+/// parents among the previously created messages (including the genesis).
+fn messages_from_script(script: &[(u8, u8, i16)]) -> (TxMessage, Vec<TxMessage>) {
+    let g = genesis();
+    let mut all: Vec<TxMessage> = vec![g.clone()];
+    for (i, &(a, b, v)) in script.iter().enumerate() {
+        let pa = all[a as usize % all.len()].content_id();
+        let pb = all[b as usize % all.len()].content_id();
+        let m = TxMessage::create(
+            &ParamVec(vec![v as f32, i as f32]),
+            vec![pa, pb],
+            i as u64 % 7,
+            i as u64,
+            0,
+        );
+        all.push(m);
+    }
+    (g, all.split_off(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Wire framing roundtrips arbitrary messages.
+    #[test]
+    fn message_encode_decode_roundtrip(
+        values in prop::collection::vec(-1e4f32..1e4, 0..50),
+        parents in prop::collection::vec(any::<u64>(), 0..5),
+        issuer in any::<u64>(),
+        slot in any::<u64>(),
+    ) {
+        let m = TxMessage::create(
+            &ParamVec(values),
+            parents.into_iter().map(ContentId).collect(),
+            issuer,
+            slot,
+            0,
+        );
+        let d = TxMessage::decode(&m.encode()).expect("roundtrip");
+        prop_assert_eq!(d.content_id(), m.content_id());
+        prop_assert_eq!(&d.parents, &m.parents);
+        prop_assert_eq!(d.issuer, issuer);
+        prop_assert_eq!(d.decode_params().unwrap(), m.decode_params().unwrap());
+    }
+
+    /// A peer reaches the same replica no matter the delivery permutation
+    /// (orphan buffering makes insertion order-independent).
+    #[test]
+    fn peer_replica_is_order_independent(
+        script in prop::collection::vec((any::<u8>(), any::<u8>(), any::<i16>()), 1..15),
+        perm_seed in any::<u64>(),
+    ) {
+        let (g, msgs) = messages_from_script(&script);
+        // in-order peer
+        let mut p1 = Peer::new(0, &g, 0);
+        for m in &msgs {
+            let out = p1.receive(m);
+            prop_assert!(matches!(
+                out,
+                ReceiveOutcome::Accepted | ReceiveOutcome::Duplicate
+            ));
+        }
+        // permuted peer
+        let mut order: Vec<usize> = (0..msgs.len()).collect();
+        let mut state = perm_seed;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut p2 = Peer::new(1, &g, 0);
+        for &i in &order {
+            p2.receive(&msgs[i]);
+        }
+        prop_assert_eq!(p1.len(), p2.len());
+        prop_assert_eq!(p2.orphan_count(), 0, "all orphans must flush");
+        for m in &msgs {
+            prop_assert!(p2.lookup(m.content_id()).is_some());
+        }
+    }
+
+    /// Whatever the topology, latency spread, and publish schedule: after
+    /// quiescence plus anti-entropy, all replicas hold the same set.
+    #[test]
+    fn network_converges_under_arbitrary_schedules(
+        script in prop::collection::vec((any::<u8>(), any::<u8>(), any::<i16>()), 1..12),
+        topo_pick in 0u8..3,
+        max_latency in 1u64..10,
+        seed in any::<u64>(),
+        origins in prop::collection::vec(0usize..6, 1..12),
+    ) {
+        let topology = match topo_pick {
+            0 => Topology::FullMesh,
+            1 => Topology::Ring,
+            _ => Topology::RandomRegular { degree: 3 },
+        };
+        let (g, msgs) = messages_from_script(&script);
+        let mut net = Network::new(
+            6,
+            &g,
+            NetworkConfig {
+                topology,
+                latency: Latency { min: 1, max: max_latency },
+                loss: 0.0,
+                pow_difficulty: 0,
+                seed,
+            },
+        );
+        for (m, &o) in msgs.iter().zip(origins.iter().cycle()) {
+            net.publish(o, m.clone());
+        }
+        net.run_to_quiescence();
+        net.anti_entropy();
+        prop_assert!(net.replicas_consistent());
+        prop_assert_eq!(net.peer(0).len(), msgs.len() + 1);
+    }
+}

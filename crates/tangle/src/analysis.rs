@@ -1,0 +1,488 @@
+//! Consensus analysis: cumulative weights, ratings, confidence, and the
+//! paper's Algorithm 1 reference selection.
+//!
+//! *Rating* follows the paper's definition — "the number of other
+//! transactions that [a transaction] directly or indirectly approves", i.e.
+//! its past-cone size, with every transaction contributing equally (the
+//! prototype ignores IOTA's PoW-weighted own weights).
+//!
+//! *Confidence* follows the paper's Monte-Carlo procedure — "running the tip
+//! selection multiple times, thereby counting how often a given transaction
+//! is hit during the random walk", normalized by the number of sampling
+//! rounds. An IOTA-style alternative (fraction of sampled tips whose past
+//! cone contains the transaction) is provided as
+//! [`TangleAnalysis::approval_confidence`].
+
+use crate::bitset::BitSet;
+use crate::graph::{Tangle, TxId};
+use crate::walk::RandomWalk;
+use rayon::prelude::*;
+
+/// Exact cumulative weights: `w(t) = 1 + |{x : x directly or indirectly
+/// approves t}|` (own weight plus distinct approvers), computed by a
+/// reverse-topological bitset DP.
+pub fn cumulative_weights<P>(tangle: &Tangle<P>) -> Vec<u32> {
+    let n = tangle.len();
+    let mut future: Vec<Option<BitSet>> = vec![None; n];
+    let mut out = vec![0u32; n];
+    // Ids are topological, so children always have larger ids: sweep down.
+    for i in (0..n).rev() {
+        let id = TxId(i as u32);
+        let mut set = BitSet::new(n);
+        for &child in tangle.approvers(id) {
+            set.insert(child.index());
+            set.union_with(
+                future[child.index()]
+                    .as_ref()
+                    .expect("children processed before parents"),
+            );
+        }
+        out[i] = 1 + set.count() as u32;
+        future[i] = Some(set);
+    }
+    out
+}
+
+/// Exact ratings: `r(t) = |past cone of t|` (the genesis has rating 0),
+/// computed by a forward-topological bitset DP.
+pub fn ratings<P>(tangle: &Tangle<P>) -> Vec<u32> {
+    let n = tangle.len();
+    let mut past: Vec<BitSet> = Vec::with_capacity(n);
+    let mut out = vec![0u32; n];
+    for (i, tx) in tangle.transactions().iter().enumerate() {
+        let mut set = BitSet::new(n);
+        for &p in &tx.parents {
+            set.insert(p.index());
+            let parent_set = &past[p.index()];
+            set.union_with(parent_set);
+        }
+        out[i] = set.count() as u32;
+        past.push(set);
+    }
+    out
+}
+
+/// Incrementally maintained cumulative weights.
+///
+/// The batch DP in [`cumulative_weights`] costs `O(V²/64)` per snapshot;
+/// rebuilding it every round makes long-lived networks quadratic overall.
+/// This tracker exploits the identity that appending transaction `t`
+/// increases the cumulative weight of *exactly* the members of `t`'s past
+/// cone by one (each gains one new distinct approver), which costs only
+/// `O(|past cone|)` per append.
+///
+/// Call [`IncrementalWeights::on_add`] after every `Tangle::add`; the
+/// weights are equal to [`cumulative_weights`] at all times (verified by
+/// property tests).
+pub struct IncrementalWeights {
+    weights: Vec<u32>,
+}
+
+impl IncrementalWeights {
+    /// Start tracking an existing tangle (runs the batch DP once).
+    pub fn new<P>(tangle: &Tangle<P>) -> Self {
+        Self {
+            weights: cumulative_weights(tangle),
+        }
+    }
+
+    /// Record the transaction just appended (must be the latest id).
+    ///
+    /// # Panics
+    /// Panics if `id` is not exactly the next transaction after the ones
+    /// already tracked.
+    pub fn on_add<P>(&mut self, tangle: &Tangle<P>, id: TxId) {
+        assert_eq!(
+            id.index(),
+            self.weights.len(),
+            "on_add must be called once per append, in order"
+        );
+        self.weights.push(1); // own weight
+        for ancestor in tangle.past_cone(id) {
+            self.weights[ancestor.index()] += 1;
+        }
+    }
+
+    /// The current weights (aligned with transaction ids).
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+}
+
+/// Depth of every transaction: the length of the *longest* approval path
+/// from any tip down to it (tips have depth 0, the genesis is deepest).
+/// Used by windowed tip selection to pick walk entry points "reasonably
+/// deep within the tangle" without walking from the genesis every time.
+pub fn depths<P>(tangle: &Tangle<P>) -> Vec<u32> {
+    let n = tangle.len();
+    let mut out = vec![0u32; n];
+    // Children have larger ids; sweep down so every approver is done first.
+    for i in (0..n).rev() {
+        let id = TxId(i as u32);
+        let approvers = tangle.approvers(id);
+        out[i] = approvers
+            .iter()
+            .map(|a| out[a.index()] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    out
+}
+
+/// Classification of each transaction for visualization (the paper's
+/// Fig. 2 coloring).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxClass {
+    /// The genesis transaction (black in Fig. 2).
+    Genesis,
+    /// Approved by every current tip — part of the consensus (dark gray).
+    Confirmed,
+    /// A current tip (light gray).
+    Tip,
+    /// Neither a tip nor approved by all tips (white).
+    Pending,
+}
+
+/// A per-tangle-snapshot view bundling the derived quantities that both the
+/// learning algorithms and the analysis tooling need.
+pub struct TangleAnalysis {
+    /// Cumulative weight per transaction (see [`cumulative_weights`]).
+    pub cumulative_weight: Vec<u32>,
+    /// Rating per transaction (see [`ratings`]).
+    pub rating: Vec<u32>,
+}
+
+impl TangleAnalysis {
+    /// Compute both DP passes for the current tangle snapshot.
+    pub fn compute<P>(tangle: &Tangle<P>) -> Self
+    where
+        P: Sync,
+    {
+        // The two DPs are independent — run them in parallel.
+        let (cumulative_weight, rating) =
+            rayon::join(|| cumulative_weights(tangle), || ratings(tangle));
+        Self {
+            cumulative_weight,
+            rating,
+        }
+    }
+
+    /// Monte-Carlo walk-hit confidence (paper §III-A): run `samples` random
+    /// walks and count, for each transaction, the fraction of walks whose
+    /// particle path passed through it. The genesis always has confidence 1.
+    ///
+    /// Walks run in parallel with per-walk derived seeds, so the result is
+    /// deterministic for a given `(tangle, walk, samples, seed)`.
+    pub fn walk_confidence<P>(
+        &self,
+        tangle: &Tangle<P>,
+        walk: &RandomWalk,
+        samples: usize,
+        seed: u64,
+    ) -> Vec<f32>
+    where
+        P: Sync,
+    {
+        assert!(samples > 0, "need at least one confidence sample");
+        let n = tangle.len();
+        let hits: Vec<u32> = (0..samples)
+            .into_par_iter()
+            .map(|s| {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(
+                    seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let mut local = vec![0u32; n];
+                for id in walk.walk_path_with_weights(tangle, &self.cumulative_weight, &mut rng) {
+                    local[id.index()] = 1;
+                }
+                local
+            })
+            .reduce(
+                || vec![0u32; n],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        hits.iter().map(|&h| h as f32 / samples as f32).collect()
+    }
+
+    /// IOTA-style approval confidence: sample `samples` tips via the walk
+    /// and report, per transaction, the fraction of sampled tips whose past
+    /// cone contains it.
+    pub fn approval_confidence<P>(
+        &self,
+        tangle: &Tangle<P>,
+        walk: &RandomWalk,
+        samples: usize,
+        seed: u64,
+    ) -> Vec<f32>
+    where
+        P: Sync,
+    {
+        assert!(samples > 0, "need at least one confidence sample");
+        let n = tangle.len();
+        let hits: Vec<u32> = (0..samples)
+            .into_par_iter()
+            .map(|s| {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(
+                    seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let tip = walk.select_tip_with_weights(tangle, &self.cumulative_weight, &mut rng);
+                let mut local = vec![0u32; n];
+                local[tip.index()] = 1;
+                for a in tangle.past_cone(tip) {
+                    local[a.index()] = 1;
+                }
+                local
+            })
+            .reduce(
+                || vec![0u32; n],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        hits.iter().map(|&h| h as f32 / samples as f32).collect()
+    }
+
+    /// Algorithm 1 (generalized to the top `n`): rank transactions by
+    /// `confidence(t) × rating(t)` descending and return the best `n` ids.
+    ///
+    /// Ties break toward newer transactions (higher id), which keeps the
+    /// selection stable and favors fresher models.
+    pub fn choose_reference(&self, confidence: &[f32], n: usize) -> Vec<TxId> {
+        assert_eq!(confidence.len(), self.rating.len());
+        let mut scored: Vec<(f64, u32)> = confidence
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c as f64 * self.rating[i] as f64, i as u32))
+            .collect();
+        scored.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("scores are finite")
+                .then(b.1.cmp(&a.1))
+        });
+        scored.into_iter().take(n).map(|(_, i)| TxId(i)).collect()
+    }
+}
+
+/// Fig. 2 view: classify every transaction relative to the current tips.
+pub struct ConsensusView {
+    /// Per-transaction classification.
+    pub classes: Vec<TxClass>,
+}
+
+impl ConsensusView {
+    /// Compute the classification: a transaction is *confirmed* iff every
+    /// current tip (directly or indirectly) approves it.
+    pub fn compute<P>(tangle: &Tangle<P>) -> Self {
+        let n = tangle.len();
+        let tips = tangle.tips();
+        // Count, per transaction, how many tips reach it: union of per-tip
+        // past cones with a counting sweep. Reuse the forward past-cone DP
+        // but accumulate per-tip hit counts instead of keeping all sets.
+        let mut count = vec![0u32; n];
+        for &tip in &tips {
+            count[tip.index()] += 1; // a tip trivially "reaches" itself
+            for a in tangle.past_cone(tip) {
+                count[a.index()] += 1;
+            }
+        }
+        let t = tips.len() as u32;
+        let classes = (0..n)
+            .map(|i| {
+                let id = TxId(i as u32);
+                if id == tangle.genesis() {
+                    TxClass::Genesis
+                } else if tangle.is_tip(id) {
+                    TxClass::Tip
+                } else if count[i] == t {
+                    TxClass::Confirmed
+                } else {
+                    TxClass::Pending
+                }
+            })
+            .collect();
+        Self { classes }
+    }
+
+    /// Ids of the confirmed (consensus) transactions.
+    pub fn confirmed(&self) -> Vec<TxId> {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == TxClass::Confirmed)
+            .map(|(i, _)| TxId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// genesis -> a, b; c -> (a,b); d -> (c); e -> (b)   tips: d, e
+    fn sample() -> (Tangle<u8>, [TxId; 5]) {
+        let mut t = Tangle::new(0u8);
+        let g = t.genesis();
+        let a = t.add(1, vec![g]).unwrap();
+        let b = t.add(2, vec![g]).unwrap();
+        let c = t.add(3, vec![a, b]).unwrap();
+        let d = t.add(4, vec![c]).unwrap();
+        let e = t.add(5, vec![b]).unwrap();
+        (t, [a, b, c, d, e])
+    }
+
+    #[test]
+    fn cumulative_weights_exact() {
+        let (t, [a, b, c, d, e]) = sample();
+        let w = cumulative_weights(&t);
+        assert_eq!(w[t.genesis().index()], 6); // everyone approves genesis
+        assert_eq!(w[a.index()], 3); // a, c, d
+        assert_eq!(w[b.index()], 4); // b, c, d, e
+        assert_eq!(w[c.index()], 2); // c, d
+        assert_eq!(w[d.index()], 1);
+        assert_eq!(w[e.index()], 1);
+    }
+
+    #[test]
+    fn ratings_exact() {
+        let (t, [a, b, c, d, e]) = sample();
+        let r = ratings(&t);
+        assert_eq!(r[t.genesis().index()], 0);
+        assert_eq!(r[a.index()], 1);
+        assert_eq!(r[b.index()], 1);
+        assert_eq!(r[c.index()], 3); // a, b, genesis
+        assert_eq!(r[d.index()], 4); // c, a, b, genesis
+        assert_eq!(r[e.index()], 2); // b, genesis
+    }
+
+    #[test]
+    fn diamond_counts_distinct_not_paths() {
+        // genesis -> a, b; c approves both: genesis must count c once.
+        let mut t = Tangle::new(0u8);
+        let g = t.genesis();
+        let a = t.add(1, vec![g]).unwrap();
+        let b = t.add(2, vec![g]).unwrap();
+        let c = t.add(3, vec![a, b]).unwrap();
+        let w = cumulative_weights(&t);
+        assert_eq!(w[g.index()], 4);
+        let r = ratings(&t);
+        assert_eq!(r[c.index()], 3);
+    }
+
+    #[test]
+    fn walk_confidence_bounds_and_genesis() {
+        let (t, _) = sample();
+        let analysis = TangleAnalysis::compute(&t);
+        let conf = analysis.walk_confidence(&t, &RandomWalk::default(), 64, 42);
+        assert_eq!(conf.len(), t.len());
+        assert!((conf[t.genesis().index()] - 1.0).abs() < 1e-6);
+        assert!(conf.iter().all(|&c| (0.0..=1.0).contains(&c)));
+    }
+
+    #[test]
+    fn walk_confidence_is_deterministic_per_seed() {
+        let (t, _) = sample();
+        let analysis = TangleAnalysis::compute(&t);
+        let c1 = analysis.walk_confidence(&t, &RandomWalk::default(), 32, 7);
+        let c2 = analysis.walk_confidence(&t, &RandomWalk::default(), 32, 7);
+        assert_eq!(c1, c2);
+        let c3 = analysis.walk_confidence(&t, &RandomWalk::default(), 32, 8);
+        assert_ne!(c1, c3);
+    }
+
+    #[test]
+    fn approval_confidence_dominates_walk_confidence() {
+        // Every tx on a walk path is in the reached tip's past cone, so
+        // approval confidence >= walk confidence for matching seeds/samples.
+        let (t, _) = sample();
+        let analysis = TangleAnalysis::compute(&t);
+        let walk = RandomWalk::default();
+        let wc = analysis.walk_confidence(&t, &walk, 64, 9);
+        let ac = analysis.approval_confidence(&t, &walk, 64, 9);
+        for (w, a) in wc.iter().zip(&ac) {
+            assert!(a >= w, "approval {a} < walk {w}");
+        }
+    }
+
+    #[test]
+    fn choose_reference_prefers_high_conf_times_rating() {
+        let (t, [_, _, c, _, _]) = sample();
+        let analysis = TangleAnalysis::compute(&t);
+        // Hand-crafted confidence: c is confidently on the main path.
+        let mut conf = vec![0.1f32; t.len()];
+        conf[t.genesis().index()] = 1.0;
+        conf[c.index()] = 0.9;
+        let top = analysis.choose_reference(&conf, 2);
+        assert_eq!(top[0], c); // 0.9 * 3 = 2.7, genesis = 1.0 * 0 = 0
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn choose_reference_on_genesis_only_tangle() {
+        let t = Tangle::new(0u8);
+        let analysis = TangleAnalysis::compute(&t);
+        let top = analysis.choose_reference(&[1.0], 3);
+        assert_eq!(top, vec![t.genesis()]);
+    }
+
+    #[test]
+    fn incremental_weights_track_batch_dp() {
+        let mut t = Tangle::new(0u8);
+        let mut inc = IncrementalWeights::new(&t);
+        let g = t.genesis();
+        let a = t.add(1, vec![g]).unwrap();
+        inc.on_add(&t, a);
+        let b = t.add(2, vec![g]).unwrap();
+        inc.on_add(&t, b);
+        let c = t.add(3, vec![a, b]).unwrap();
+        inc.on_add(&t, c);
+        let d = t.add(4, vec![c, b]).unwrap();
+        inc.on_add(&t, d);
+        assert_eq!(inc.weights(), cumulative_weights(&t).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn incremental_weights_reject_skipped_adds() {
+        let mut t = Tangle::new(0u8);
+        let mut inc = IncrementalWeights::new(&t);
+        let a = t.add(1, vec![t.genesis()]).unwrap();
+        let b = t.add(2, vec![a]).unwrap();
+        inc.on_add(&t, b); // skipped a
+    }
+
+    #[test]
+    fn incremental_weights_start_from_existing_tangle() {
+        let (mut t, _) = sample();
+        let mut inc = IncrementalWeights::new(&t);
+        let tips = t.tips();
+        let e = t.add(9, vec![tips[0], tips[1]]).unwrap();
+        inc.on_add(&t, e);
+        assert_eq!(inc.weights(), cumulative_weights(&t).as_slice());
+    }
+
+    #[test]
+    fn consensus_view_matches_fig2_semantics() {
+        let (t, [a, b, c, d, e]) = sample();
+        let view = ConsensusView::compute(&t);
+        assert_eq!(view.classes[t.genesis().index()], TxClass::Genesis);
+        // tips: d, e
+        assert_eq!(view.classes[d.index()], TxClass::Tip);
+        assert_eq!(view.classes[e.index()], TxClass::Tip);
+        // b is approved by both tips (d via c, e directly) -> confirmed
+        assert_eq!(view.classes[b.index()], TxClass::Confirmed);
+        // a and c are only reached from d -> pending
+        assert_eq!(view.classes[a.index()], TxClass::Pending);
+        assert_eq!(view.classes[c.index()], TxClass::Pending);
+        assert_eq!(view.confirmed(), vec![b]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Graphviz (DOT) export reproducing the paper's Fig. 2 coloring:
+//! genesis black, confirmed dark gray, tips light gray, pending white.
+
+use crate::analysis::{ConsensusView, TxClass};
+use crate::graph::Tangle;
+use std::fmt::Write as _;
+
+/// Render the tangle as a DOT digraph. Edges point from approver to
+/// approved transaction (the direction of approval, as in the paper).
+pub fn to_dot<P>(tangle: &Tangle<P>) -> String {
+    let view = ConsensusView::compute(tangle);
+    let mut out =
+        String::from("digraph tangle {\n  rankdir=RL;\n  node [style=filled, shape=circle];\n");
+    for tx in tangle.transactions() {
+        let (fill, font) = match view.classes[tx.id.index()] {
+            TxClass::Genesis => ("black", "white"),
+            TxClass::Confirmed => ("gray40", "white"),
+            TxClass::Tip => ("gray85", "black"),
+            TxClass::Pending => ("white", "black"),
+        };
+        writeln!(out, "  {} [fillcolor={fill}, fontcolor={font}];", tx.id.0)
+            .expect("writing to string cannot fail");
+    }
+    for tx in tangle.transactions() {
+        for p in &tx.parents {
+            writeln!(out, "  {} -> {};", tx.id.0, p.0).expect("writing to string cannot fail");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut t = Tangle::new(0u8);
+        let a = t.add(1, vec![t.genesis()]).unwrap();
+        let b = t.add(2, vec![t.genesis(), a]).unwrap();
+        let dot = to_dot(&t);
+        assert!(dot.starts_with("digraph tangle"));
+        assert!(dot.contains("0 [fillcolor=black"));
+        assert!(dot.contains(&format!("{} -> 0;", a.0)));
+        assert!(dot.contains(&format!("{} -> {};", b.0, a.0)));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn tip_colored_light_gray() {
+        let mut t = Tangle::new(0u8);
+        let a = t.add(1, vec![t.genesis()]).unwrap();
+        let dot = to_dot(&t);
+        assert!(dot.contains(&format!("{} [fillcolor=gray85", a.0)));
+    }
+}

@@ -1,0 +1,94 @@
+//! Hashcash-style proof-of-work.
+//!
+//! IOTA requires a small proof-of-work per transaction "to prevent
+//! adversaries from flooding the network with crafted transactions"
+//! (paper §II-C); the paper's prototype leaves this to future work (§IV).
+//! This module provides the mechanism so that a deployment of this library
+//! can turn the Sybil gate on: a publisher must find a nonce such that the
+//! FNV-1a hash of `payload_digest ‖ nonce` has at least `difficulty`
+//! leading zero bits.
+
+/// FNV-1a of a byte slice — not cryptographic, but a stand-in with the same
+/// interface and uniformity properties needed by the simulation. A real
+/// deployment would swap in a cryptographic hash.
+pub fn digest(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn hash_with_nonce(payload_digest: u64, nonce: u64) -> u64 {
+    let mut buf = [0u8; 16];
+    buf[..8].copy_from_slice(&payload_digest.to_le_bytes());
+    buf[8..].copy_from_slice(&nonce.to_le_bytes());
+    digest(&buf)
+}
+
+/// Find a nonce giving `difficulty` leading zero bits. Expected work is
+/// `2^difficulty` hash evaluations.
+///
+/// # Panics
+/// Panics if `difficulty > 63` (practically unreachable work).
+pub fn solve(payload_digest: u64, difficulty: u32) -> u64 {
+    assert!(difficulty <= 63, "difficulty out of range");
+    let mut nonce = 0u64;
+    loop {
+        if verify(payload_digest, nonce, difficulty) {
+            return nonce;
+        }
+        nonce = nonce.wrapping_add(1);
+    }
+}
+
+/// Check that `nonce` satisfies `difficulty` for `payload_digest`.
+pub fn verify(payload_digest: u64, nonce: u64, difficulty: u32) -> bool {
+    hash_with_nonce(payload_digest, nonce).leading_zeros() >= difficulty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_difficulty_always_verifies() {
+        assert!(verify(123, 0, 0));
+        assert_eq!(solve(123, 0), 0);
+    }
+
+    #[test]
+    fn solve_then_verify() {
+        for d in [4u32, 8, 12] {
+            let payload = digest(b"model parameters");
+            let nonce = solve(payload, d);
+            assert!(verify(payload, nonce, d));
+        }
+    }
+
+    #[test]
+    fn wrong_nonce_usually_fails_high_difficulty() {
+        let payload = digest(b"x");
+        let nonce = solve(payload, 16);
+        // Perturbing the payload invalidates the proof with overwhelming
+        // probability at difficulty 16.
+        assert!(!verify(payload ^ 1, nonce, 16) || nonce != solve(payload ^ 1, 16));
+    }
+
+    #[test]
+    fn digest_differs_on_different_input() {
+        assert_ne!(digest(b"a"), digest(b"b"));
+        assert_eq!(digest(b"a"), digest(b"a"));
+    }
+
+    #[test]
+    fn difficulty_monotonicity() {
+        let payload = digest(b"payload");
+        let nonce = solve(payload, 12);
+        // A proof at difficulty 12 is also valid at any lower difficulty.
+        for d in 0..=12 {
+            assert!(verify(payload, nonce, d));
+        }
+    }
+}

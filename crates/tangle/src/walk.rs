@@ -1,0 +1,441 @@
+//! Tip-selection algorithms.
+//!
+//! The paper uses "the widespread algorithm of a weighted random walk from
+//! the genesis transaction ... where the weights are the number of approvers
+//! for a given transaction" (§II-C). [`RandomWalk`] implements the IOTA
+//! MCMC walk with transition probabilities
+//! `P(x→y) ∝ exp(α · (w(y) − max_z w(z)))` over the approvers `y` of the
+//! current particle `x`, where `w` is the cumulative weight and `α` the
+//! randomness parameter of Gal's "alpha" article cited by the paper (\[32\]).
+//! `α = 0` is the unbiased walk; large `α` is greedy.
+
+use crate::analysis::cumulative_weights;
+use crate::graph::{Tangle, TxId};
+use rand::RngExt as _;
+
+/// Strategy for picking the tips a new transaction will approve.
+pub trait TipSelector<P> {
+    /// Select one tip. Call repeatedly for multiple (not necessarily
+    /// distinct) tips.
+    fn select_tip(&self, tangle: &Tangle<P>, rng: &mut dyn rand::Rng) -> TxId;
+}
+
+/// Uniform choice among the current tips (no walk). The cheapest selector;
+/// used as an ablation baseline and by attackers that do not care about
+/// consensus weight.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UniformTips;
+
+impl<P> TipSelector<P> for UniformTips {
+    fn select_tip(&self, tangle: &Tangle<P>, rng: &mut dyn rand::Rng) -> TxId {
+        let tips = tangle.tips();
+        tips[rng.random_range(0..tips.len())]
+    }
+}
+
+/// The weighted MCMC random walk from the genesis.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomWalk {
+    /// Randomness parameter: 0 = unbiased, larger = greedier toward heavy
+    /// subtangles.
+    pub alpha: f64,
+}
+
+impl Default for RandomWalk {
+    /// `α = 0.5`, a middle ground that keeps the walk weight-following but
+    /// still randomized (the paper stresses that robustness depends on this
+    /// "randomness factor of the tip selection algorithm").
+    fn default() -> Self {
+        Self { alpha: 0.5 }
+    }
+}
+
+impl RandomWalk {
+    /// Construct with an explicit α.
+    pub fn new(alpha: f64) -> Self {
+        Self { alpha }
+    }
+
+    /// Walk once with precomputed cumulative weights, returning the full
+    /// particle path (genesis first, reached tip last).
+    ///
+    /// Using precomputed weights lets callers run many walks per tangle
+    /// snapshot (confidence sampling, per-node tip sampling) without paying
+    /// the DP each time.
+    pub fn walk_path_with_weights<P>(
+        &self,
+        tangle: &Tangle<P>,
+        weights: &[u32],
+        rng: &mut dyn rand::Rng,
+    ) -> Vec<TxId> {
+        assert_eq!(
+            weights.len(),
+            tangle.len(),
+            "weights/tangle length mismatch"
+        );
+        let mut path = vec![tangle.genesis()];
+        let mut cur = tangle.genesis();
+        let mut probs: Vec<f64> = Vec::new();
+        loop {
+            let approvers = tangle.approvers(cur);
+            match approvers.len() {
+                0 => return path,
+                1 => {
+                    cur = approvers[0];
+                }
+                _ => {
+                    probs.clear();
+                    let max_w = approvers
+                        .iter()
+                        .map(|a| weights[a.index()])
+                        .max()
+                        .expect("non-empty approvers");
+                    let mut total = 0.0f64;
+                    for a in approvers {
+                        let d = weights[a.index()] as f64 - max_w as f64;
+                        let p = (self.alpha * d).exp();
+                        probs.push(p);
+                        total += p;
+                    }
+                    let mut r = rng.random_range(0.0..total);
+                    let mut chosen = approvers[approvers.len() - 1];
+                    for (a, &p) in approvers.iter().zip(&probs) {
+                        if r < p {
+                            chosen = *a;
+                            break;
+                        }
+                        r -= p;
+                    }
+                    cur = chosen;
+                }
+            }
+            path.push(cur);
+        }
+    }
+
+    /// Select a tip with precomputed cumulative weights.
+    pub fn select_tip_with_weights<P>(
+        &self,
+        tangle: &Tangle<P>,
+        weights: &[u32],
+        rng: &mut dyn rand::Rng,
+    ) -> TxId {
+        *self
+            .walk_path_with_weights(tangle, weights, rng)
+            .last()
+            .expect("walk path is never empty")
+    }
+}
+
+impl<P> TipSelector<P> for RandomWalk {
+    fn select_tip(&self, tangle: &Tangle<P>, rng: &mut dyn rand::Rng) -> TxId {
+        let weights = cumulative_weights(tangle);
+        self.select_tip_with_weights(tangle, &weights, rng)
+    }
+}
+
+/// Windowed tip selection: instead of walking from the genesis every time
+/// (which the paper's prototype does, §IV, at the cost of scalability),
+/// start the walk from a uniformly chosen transaction whose depth lies in
+/// `[window, 2·window]` — the optimization the original tangle authors
+/// propose and the paper defers to future work.
+///
+/// Falls back to the genesis when the tangle is still shallower than the
+/// window.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowedWalk {
+    /// The underlying weighted walk.
+    pub walk: RandomWalk,
+    /// Window depth `W`: entry particles are drawn from depths `W..=2W`.
+    pub window: u32,
+}
+
+impl WindowedWalk {
+    /// Construct from a walk and a window depth.
+    pub fn new(walk: RandomWalk, window: u32) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        Self { walk, window }
+    }
+
+    /// Select a tip with precomputed cumulative weights and depths
+    /// (see [`crate::analysis::depths`]).
+    pub fn select_tip_with_weights<P>(
+        &self,
+        tangle: &Tangle<P>,
+        weights: &[u32],
+        depths: &[u32],
+        rng: &mut dyn rand::Rng,
+    ) -> TxId {
+        assert_eq!(depths.len(), tangle.len(), "depths/tangle length mismatch");
+        let lo = self.window;
+        let hi = 2 * self.window;
+        let candidates: Vec<TxId> = (0..tangle.len())
+            .filter(|&i| (lo..=hi).contains(&depths[i]))
+            .map(|i| TxId(i as u32))
+            .collect();
+        let start = if candidates.is_empty() {
+            tangle.genesis()
+        } else {
+            candidates[rng.random_range(0..candidates.len())]
+        };
+        self.walk_to_tip_from(tangle, weights, start, rng)
+    }
+
+    /// Run the weighted walk from an explicit start particle.
+    pub fn walk_to_tip_from<P>(
+        &self,
+        tangle: &Tangle<P>,
+        weights: &[u32],
+        start: TxId,
+        rng: &mut dyn rand::Rng,
+    ) -> TxId {
+        let mut cur = start;
+        let mut probs: Vec<f64> = Vec::new();
+        loop {
+            let approvers = tangle.approvers(cur);
+            match approvers.len() {
+                0 => return cur,
+                1 => cur = approvers[0],
+                _ => {
+                    probs.clear();
+                    let max_w = approvers
+                        .iter()
+                        .map(|a| weights[a.index()])
+                        .max()
+                        .expect("non-empty approvers");
+                    let mut total = 0.0f64;
+                    for a in approvers {
+                        let d = weights[a.index()] as f64 - max_w as f64;
+                        let p = (self.walk.alpha * d).exp();
+                        probs.push(p);
+                        total += p;
+                    }
+                    let mut r = rng.random_range(0.0..total);
+                    let mut chosen = approvers[approvers.len() - 1];
+                    for (a, &p) in approvers.iter().zip(&probs) {
+                        if r < p {
+                            chosen = *a;
+                            break;
+                        }
+                        r -= p;
+                    }
+                    cur = chosen;
+                }
+            }
+        }
+    }
+}
+
+impl<P> TipSelector<P> for WindowedWalk {
+    fn select_tip(&self, tangle: &Tangle<P>, rng: &mut dyn rand::Rng) -> TxId {
+        let weights = cumulative_weights(tangle);
+        let depths = crate::analysis::depths(tangle);
+        self.select_tip_with_weights(tangle, &weights, &depths, rng)
+    }
+}
+
+/// A weighted walk whose transition weight is `cumulative_weight + bias`,
+/// where the bias is supplied per transaction by the caller — the paper's
+/// §VI outlook of "introducing model performance as a bias in the weighted
+/// random walk".
+pub struct BiasedRandomWalk<'a> {
+    /// Randomness parameter, as in [`RandomWalk`].
+    pub alpha: f64,
+    /// Per-transaction additive bias on the walk weight, in cumulative-
+    /// weight units.
+    pub bias: &'a [f64],
+}
+
+impl<'a> BiasedRandomWalk<'a> {
+    /// Construct from α and a bias table indexed by transaction id.
+    pub fn new(alpha: f64, bias: &'a [f64]) -> Self {
+        Self { alpha, bias }
+    }
+
+    /// Select one tip using precomputed cumulative weights plus the bias.
+    pub fn select_tip_with_weights<P>(
+        &self,
+        tangle: &Tangle<P>,
+        weights: &[u32],
+        rng: &mut dyn rand::Rng,
+    ) -> TxId {
+        assert_eq!(self.bias.len(), tangle.len(), "bias/tangle length mismatch");
+        let mut cur = tangle.genesis();
+        let mut probs: Vec<f64> = Vec::new();
+        loop {
+            let approvers = tangle.approvers(cur);
+            match approvers.len() {
+                0 => return cur,
+                1 => cur = approvers[0],
+                _ => {
+                    probs.clear();
+                    let eff = |a: TxId| weights[a.index()] as f64 + self.bias[a.index()];
+                    let max_w = approvers
+                        .iter()
+                        .map(|&a| eff(a))
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    let mut total = 0.0f64;
+                    for &a in approvers {
+                        let p = (self.alpha * (eff(a) - max_w)).exp();
+                        probs.push(p);
+                        total += p;
+                    }
+                    let mut r = rng.random_range(0.0..total);
+                    let mut chosen = approvers[approvers.len() - 1];
+                    for (a, &p) in approvers.iter().zip(&probs) {
+                        if r < p {
+                            chosen = *a;
+                            break;
+                        }
+                        r -= p;
+                    }
+                    cur = chosen;
+                }
+            }
+        }
+    }
+}
+
+impl<'a, P> TipSelector<P> for BiasedRandomWalk<'a> {
+    fn select_tip(&self, tangle: &Tangle<P>, rng: &mut dyn rand::Rng) -> TxId {
+        let weights = cumulative_weights(tangle);
+        self.select_tip_with_weights(tangle, &weights, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::SmallRng {
+        rand::rngs::SmallRng::seed_from_u64(seed)
+    }
+
+    /// genesis -> {a, b}; c approves a; the a-branch is heavier.
+    fn forked() -> (Tangle<u8>, TxId, TxId, TxId) {
+        let mut t = Tangle::new(0u8);
+        let a = t.add(1, vec![t.genesis()]).unwrap();
+        let b = t.add(2, vec![t.genesis()]).unwrap();
+        let c = t.add(3, vec![a]).unwrap();
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn walk_reaches_a_tip() {
+        let (t, _, b, c) = forked();
+        let mut r = rng(1);
+        for _ in 0..20 {
+            let tip = RandomWalk::default().select_tip(&t, &mut r);
+            assert!(tip == b || tip == c);
+            assert!(t.is_tip(tip));
+        }
+    }
+
+    #[test]
+    fn high_alpha_is_greedy() {
+        let (t, _, _b, c) = forked();
+        let w = cumulative_weights(&t);
+        let mut r = rng(2);
+        let walk = RandomWalk::new(1000.0);
+        for _ in 0..50 {
+            // a has cumulative weight 2 (itself + c); b has 1 → always go a → c.
+            assert_eq!(walk.select_tip_with_weights(&t, &w, &mut r), c);
+        }
+    }
+
+    #[test]
+    fn zero_alpha_is_roughly_uniform() {
+        let (t, _, b, _c) = forked();
+        let w = cumulative_weights(&t);
+        let mut r = rng(3);
+        let walk = RandomWalk::new(0.0);
+        let mut hits_b = 0;
+        let n = 2000;
+        for _ in 0..n {
+            if walk.select_tip_with_weights(&t, &w, &mut r) == b {
+                hits_b += 1;
+            }
+        }
+        let frac = hits_b as f64 / n as f64;
+        assert!((0.42..0.58).contains(&frac), "b fraction {frac}");
+    }
+
+    #[test]
+    fn walk_path_starts_at_genesis_ends_at_tip() {
+        let (t, a, _, c) = forked();
+        let w = cumulative_weights(&t);
+        let mut r = rng(4);
+        let path = RandomWalk::new(1000.0).walk_path_with_weights(&t, &w, &mut r);
+        assert_eq!(path, vec![t.genesis(), a, c]);
+    }
+
+    #[test]
+    fn uniform_tips_only_returns_tips() {
+        let (t, _, b, c) = forked();
+        let mut r = rng(5);
+        for _ in 0..20 {
+            let tip = <UniformTips as TipSelector<u8>>::select_tip(&UniformTips, &t, &mut r);
+            assert!(tip == b || tip == c);
+        }
+    }
+
+    #[test]
+    fn bias_can_overcome_weight() {
+        let (t, _, b, _c) = forked();
+        let w = cumulative_weights(&t);
+        // Heavily bias the light b-branch.
+        let mut bias = vec![0.0f64; t.len()];
+        bias[b.index()] = 100.0;
+        let walk = BiasedRandomWalk::new(10.0, &bias);
+        let mut r = rng(6);
+        for _ in 0..30 {
+            assert_eq!(walk.select_tip_with_weights(&t, &w, &mut r), b);
+        }
+    }
+
+    #[test]
+    fn windowed_walk_reaches_a_tip() {
+        // Long chain with a fork at the end.
+        let mut t = Tangle::new(0u8);
+        let mut prev = t.genesis();
+        for i in 0..20 {
+            prev = t.add(i, vec![prev]).unwrap();
+        }
+        let x = t.add(99, vec![prev]).unwrap();
+        let y = t.add(100, vec![prev]).unwrap();
+        let mut r = rng(8);
+        let w = WindowedWalk::new(RandomWalk::default(), 3);
+        for _ in 0..20 {
+            let tip = w.select_tip(&t, &mut r);
+            assert!(tip == x || tip == y, "windowed walk ended at {tip}");
+        }
+    }
+
+    #[test]
+    fn windowed_walk_falls_back_to_genesis_when_shallow() {
+        let t = Tangle::new(0u8);
+        let mut r = rng(9);
+        let w = WindowedWalk::new(RandomWalk::default(), 5);
+        assert_eq!(w.select_tip(&t, &mut r), t.genesis());
+    }
+
+    #[test]
+    fn depths_measure_longest_path_to_tip() {
+        let (t, a, b, c) = forked();
+        let d = crate::analysis::depths(&t);
+        // tips c, b have depth 0; a has depth 1 (via c); genesis depth 2.
+        assert_eq!(d[c.index()], 0);
+        assert_eq!(d[b.index()], 0);
+        assert_eq!(d[a.index()], 1);
+        assert_eq!(d[t.genesis().index()], 2);
+    }
+
+    #[test]
+    fn genesis_only_tangle_selects_genesis() {
+        let t = Tangle::new(0u8);
+        let mut r = rng(7);
+        let tip = RandomWalk::default().select_tip(&t, &mut r);
+        assert_eq!(tip, t.genesis());
+    }
+}

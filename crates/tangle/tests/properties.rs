@@ -1,0 +1,172 @@
+//! Property-based tests of the ledger substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use tangle_ledger::analysis::{cumulative_weights, depths, ratings, TangleAnalysis};
+use tangle_ledger::walk::{RandomWalk, TipSelector, UniformTips, WindowedWalk};
+use tangle_ledger::{Tangle, TxId};
+
+fn tangle_from_script(script: &[(u8, u8)]) -> Tangle<u32> {
+    let mut t = Tangle::new(0);
+    for (i, &(a, b)) in script.iter().enumerate() {
+        let n = t.len() as u32;
+        t.add(i as u32 + 1, vec![TxId(a as u32 % n), TxId(b as u32 % n)])
+            .unwrap();
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any walk configuration always terminates at a tip.
+    #[test]
+    fn walks_end_at_tips(
+        script in prop::collection::vec((any::<u8>(), any::<u8>()), 0..40),
+        alpha in 0.0f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let t = tangle_from_script(&script);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let walk = RandomWalk::new(alpha);
+        let tip = walk.select_tip(&t, &mut rng);
+        prop_assert!(t.is_tip(tip));
+        let tip2 = <UniformTips as TipSelector<u32>>::select_tip(&UniformTips, &t, &mut rng);
+        prop_assert!(t.is_tip(tip2));
+        let tip3 = WindowedWalk::new(walk, 2).select_tip(&t, &mut rng);
+        prop_assert!(t.is_tip(tip3));
+    }
+
+    /// Confidence values are probabilities, the genesis has confidence 1,
+    /// and flow conservation holds: every walk that visits a transaction
+    /// entered through one of its parents, so a child's confidence cannot
+    /// exceed the *sum* of its parents' confidences (it can exceed each
+    /// individual parent when walk paths merge).
+    #[test]
+    fn confidence_properties(
+        script in prop::collection::vec((any::<u8>(), any::<u8>()), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let t = tangle_from_script(&script);
+        let analysis = TangleAnalysis::compute(&t);
+        let walk = RandomWalk::new(0.2);
+        let conf = analysis.walk_confidence(&t, &walk, 48, seed);
+        prop_assert!((conf[0] - 1.0).abs() < 1e-6);
+        for c in &conf {
+            prop_assert!((0.0..=1.0).contains(c));
+        }
+        for tx in t.transactions().iter().skip(1) {
+            let parent_sum: f32 = tx.parents.iter().map(|p| conf[p.index()]).sum();
+            prop_assert!(
+                conf[tx.id.index()] <= parent_sum + 1e-5,
+                "child {} more confident than its parents combined",
+                tx.id
+            );
+        }
+    }
+
+    /// Cumulative weight is monotone along approval edges: a parent's
+    /// weight strictly exceeds any single child's contribution and is at
+    /// least child_weight + ... well, at least as large as any child's.
+    #[test]
+    fn cumulative_weight_monotone(script in prop::collection::vec((any::<u8>(), any::<u8>()), 1..40)) {
+        let t = tangle_from_script(&script);
+        let w = cumulative_weights(&t);
+        for tx in t.transactions() {
+            for p in &tx.parents {
+                prop_assert!(
+                    w[p.index()] > w[tx.id.index()] - 1,
+                    "parent weight must dominate child"
+                );
+                prop_assert!(w[p.index()] >= w[tx.id.index()] + 1 - 1); // >= child
+            }
+        }
+        // every weight at least 1 (own weight)
+        prop_assert!(w.iter().all(|&x| x >= 1));
+    }
+
+    /// Ratings are monotone the other way: children approve strictly more.
+    #[test]
+    fn rating_monotone(script in prop::collection::vec((any::<u8>(), any::<u8>()), 1..40)) {
+        let t = tangle_from_script(&script);
+        let r = ratings(&t);
+        for tx in t.transactions() {
+            for p in &tx.parents {
+                prop_assert!(r[tx.id.index()] > r[p.index()]);
+            }
+        }
+    }
+
+    /// Depth is 0 exactly at tips and parents are strictly deeper.
+    #[test]
+    fn depth_properties(script in prop::collection::vec((any::<u8>(), any::<u8>()), 0..40)) {
+        let t = tangle_from_script(&script);
+        let d = depths(&t);
+        for tx in t.transactions() {
+            if t.is_tip(tx.id) {
+                prop_assert_eq!(d[tx.id.index()], 0);
+            } else {
+                prop_assert!(d[tx.id.index()] > 0);
+            }
+            for p in &tx.parents {
+                prop_assert!(d[p.index()] > d[tx.id.index()]);
+            }
+        }
+    }
+
+    /// `prefix(k)` equals the tangle that existed after `k` insertions.
+    #[test]
+    fn prefix_equals_history(script in prop::collection::vec((any::<u8>(), any::<u8>()), 1..30), k in 1usize..31) {
+        let t = tangle_from_script(&script);
+        let k = k.min(t.len());
+        let p = t.prefix(k);
+        // rebuild directly
+        let q = tangle_from_script(&script[..k - 1]);
+        prop_assert_eq!(p.len(), q.len());
+        prop_assert_eq!(p.tips(), q.tips());
+        for i in 0..k {
+            let id = TxId(i as u32);
+            prop_assert_eq!(&p.get(id).parents, &q.get(id).parents);
+            prop_assert_eq!(p.approvers(id), q.approvers(id));
+        }
+    }
+
+    /// Incremental cumulative weights equal the batch DP on any history.
+    #[test]
+    fn incremental_weights_equal_batch(script in prop::collection::vec((any::<u8>(), any::<u8>()), 0..40)) {
+        let mut t = Tangle::new(0u32);
+        let mut inc = tangle_ledger::analysis::IncrementalWeights::new(&t);
+        for (i, &(a, b)) in script.iter().enumerate() {
+            let n = t.len() as u32;
+            let id = t
+                .add(i as u32 + 1, vec![TxId(a as u32 % n), TxId(b as u32 % n)])
+                .unwrap();
+            inc.on_add(&t, id);
+        }
+        let batch = cumulative_weights(&t);
+        prop_assert_eq!(inc.weights(), batch.as_slice());
+    }
+
+    /// Reference choice returns distinct ids, at most n, ordered by score.
+    #[test]
+    fn choose_reference_is_sane(
+        script in prop::collection::vec((any::<u8>(), any::<u8>()), 1..30),
+        n in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let t = tangle_from_script(&script);
+        let analysis = TangleAnalysis::compute(&t);
+        let conf = analysis.walk_confidence(&t, &RandomWalk::new(0.2), 16, seed);
+        let top = analysis.choose_reference(&conf, n);
+        prop_assert!(top.len() <= n);
+        prop_assert!(!top.is_empty());
+        let mut dedup = top.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), top.len(), "reference ids must be distinct");
+        let score = |id: TxId| conf[id.index()] as f64 * analysis.rating[id.index()] as f64;
+        for pair in top.windows(2) {
+            prop_assert!(score(pair[0]) >= score(pair[1]) - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! 2-D convolution (stride 1, symmetric zero padding), the building block of
+//! the FEMNIST CNN.
+
+use crate::init;
+use crate::layer::{Cache, Layer};
+use crate::tensor::Tensor;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// A 2-D convolution layer over `[B, C, H, W]` inputs.
+///
+/// Weights have shape `[out_ch, in_ch, k, k]`; stride is fixed at 1 and the
+/// input is zero-padded by `pad` pixels on every side, so the output spatial
+/// size is `H + 2·pad − k + 1`.
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    pad: usize,
+}
+
+impl Conv2d {
+    /// Construct with explicit weights (mainly for tests).
+    pub fn new(weight: Tensor, bias: Tensor, pad: usize) -> Self {
+        assert_eq!(weight.rank(), 4, "Conv2d weight must be [OC, IC, K, K]");
+        let out_ch = weight.shape()[0];
+        let in_ch = weight.shape()[1];
+        let k = weight.shape()[2];
+        assert_eq!(weight.shape()[3], k, "Conv2d kernels must be square");
+        assert_eq!(bias.shape(), &[out_ch]);
+        Self {
+            weight,
+            bias,
+            in_ch,
+            out_ch,
+            k,
+            pad,
+        }
+    }
+
+    /// He-initialized convolution (the default in front of ReLU).
+    pub fn he(in_ch: usize, out_ch: usize, k: usize, pad: usize, rng: &mut impl Rng) -> Self {
+        let fan_in = in_ch * k * k;
+        Self::new(
+            init::he_normal(&[out_ch, in_ch, k, k], fan_in, rng),
+            Tensor::zeros(&[out_ch]),
+            pad,
+        )
+    }
+
+    /// Output spatial size for an input spatial size.
+    pub fn out_size(&self, h: usize) -> usize {
+        h + 2 * self.pad + 1 - self.k
+    }
+
+    fn check_input(&self, x: &Tensor) -> (usize, usize, usize) {
+        assert_eq!(x.rank(), 4, "Conv2d expects [B, C, H, W]");
+        let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!(c, self.in_ch, "Conv2d channel mismatch");
+        assert!(
+            h + 2 * self.pad >= self.k && w + 2 * self.pad >= self.k,
+            "Conv2d input smaller than kernel"
+        );
+        (b, h, w)
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn forward(&self, x: &Tensor, _train: bool) -> (Tensor, Cache) {
+        let (b, h, w) = self.check_input(x);
+        let (oh, ow) = (self.out_size(h), self.out_size(w));
+        let (ic, oc, k, pad) = (self.in_ch, self.out_ch, self.k, self.pad);
+        let xs = x.as_slice();
+        let ws = self.weight.as_slice();
+        let bs = self.bias.as_slice();
+        let mut out = vec![0.0f32; b * oc * oh * ow];
+        out.par_chunks_mut(oc * oh * ow)
+            .enumerate()
+            .for_each(|(bi, ob)| {
+                let xb = &xs[bi * ic * h * w..(bi + 1) * ic * h * w];
+                for o in 0..oc {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = bs[o];
+                            for c in 0..ic {
+                                let wbase = ((o * ic + c) * k) * k;
+                                let xbase = c * h * w;
+                                for ky in 0..k {
+                                    let iy = oy + ky;
+                                    if iy < pad || iy >= h + pad {
+                                        continue;
+                                    }
+                                    let iy = iy - pad;
+                                    let wrow = &ws[wbase + ky * k..wbase + ky * k + k];
+                                    for (kx, &wv) in wrow.iter().enumerate() {
+                                        let ix = ox + kx;
+                                        if ix < pad || ix >= w + pad {
+                                            continue;
+                                        }
+                                        acc += wv * xb[xbase + iy * w + (ix - pad)];
+                                    }
+                                }
+                            }
+                            ob[(o * oh + oy) * ow + ox] = acc;
+                        }
+                    }
+                }
+            });
+        (Tensor::from_vec(vec![b, oc, oh, ow], out), Cache::none())
+    }
+
+    fn backward(&self, x: &Tensor, _cache: &Cache, grad_out: &Tensor) -> (Tensor, Vec<Tensor>) {
+        let (b, h, w) = self.check_input(x);
+        let (oh, ow) = (self.out_size(h), self.out_size(w));
+        let (ic, oc, k, pad) = (self.in_ch, self.out_ch, self.k, self.pad);
+        let xs = x.as_slice();
+        let ws = self.weight.as_slice();
+        let gs = grad_out.as_slice();
+
+        // Per-batch-item partials reduced with rayon: each item produces its
+        // own grad_x chunk plus dense (grad_w, grad_b) partials.
+        let wlen = self.weight.len();
+        let (grad_x, grad_w, grad_b) = (0..b)
+            .into_par_iter()
+            .map(|bi| {
+                let xb = &xs[bi * ic * h * w..(bi + 1) * ic * h * w];
+                let gb = &gs[bi * oc * oh * ow..(bi + 1) * oc * oh * ow];
+                let mut gx = vec![0.0f32; ic * h * w];
+                let mut gw = vec![0.0f32; wlen];
+                let mut gbias = vec![0.0f32; oc];
+                for o in 0..oc {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = gb[(o * oh + oy) * ow + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            gbias[o] += g;
+                            for c in 0..ic {
+                                let wbase = ((o * ic + c) * k) * k;
+                                let xbase = c * h * w;
+                                for ky in 0..k {
+                                    let iy = oy + ky;
+                                    if iy < pad || iy >= h + pad {
+                                        continue;
+                                    }
+                                    let iy = iy - pad;
+                                    for kx in 0..k {
+                                        let ix = ox + kx;
+                                        if ix < pad || ix >= w + pad {
+                                            continue;
+                                        }
+                                        let ix = ix - pad;
+                                        gw[wbase + ky * k + kx] += g * xb[xbase + iy * w + ix];
+                                        gx[xbase + iy * w + ix] += g * ws[wbase + ky * k + kx];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                (vec![(bi, gx)], gw, gbias)
+            })
+            .reduce(
+                || (Vec::new(), vec![0.0f32; wlen], vec![0.0f32; oc]),
+                |(mut xs1, mut w1, mut b1), (xs2, w2, b2)| {
+                    xs1.extend(xs2);
+                    for (a, v) in w1.iter_mut().zip(&w2) {
+                        *a += v;
+                    }
+                    for (a, v) in b1.iter_mut().zip(&b2) {
+                        *a += v;
+                    }
+                    (xs1, w1, b1)
+                },
+            );
+
+        let mut gx_full = vec![0.0f32; b * ic * h * w];
+        for (bi, gx) in grad_x {
+            gx_full[bi * ic * h * w..(bi + 1) * ic * h * w].copy_from_slice(&gx);
+        }
+        (
+            Tensor::from_vec(x.shape().to_vec(), gx_full),
+            vec![
+                Tensor::from_vec(self.weight.shape().to_vec(), grad_w),
+                Tensor::from_vec(vec![oc], grad_b),
+            ],
+        )
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1×1 kernel reduces to a per-pixel scale + bias.
+    #[test]
+    fn identity_kernel_1x1() {
+        let w = Tensor::from_vec(vec![1, 1, 1, 1], vec![2.0]);
+        let b = Tensor::from_vec(vec![1], vec![0.5]);
+        let conv = Conv2d::new(w, b, 0);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let (y, _) = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[2.5, 4.5, 6.5, 8.5]);
+    }
+
+    /// A 3×3 all-ones kernel on a padded input computes box sums.
+    #[test]
+    fn box_sum_kernel() {
+        let w = Tensor::filled(&[1, 1, 3, 3], 1.0);
+        let b = Tensor::zeros(&[1]);
+        let conv = Conv2d::new(w, b, 1);
+        let x = Tensor::filled(&[1, 1, 3, 3], 1.0);
+        let (y, _) = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        // center pixel sees all 9 ones; corners see 4.
+        assert_eq!(y.at_idx(&[0, 0, 1, 1]), 9.0);
+        assert_eq!(y.at_idx(&[0, 0, 0, 0]), 4.0);
+    }
+
+    impl Tensor {
+        /// test helper: index a rank-4 tensor
+        fn at_idx(&self, idx: &[usize; 4]) -> f32 {
+            let s = self.shape();
+            self.as_slice()[((idx[0] * s[1] + idx[1]) * s[2] + idx[2]) * s[3] + idx[3]]
+        }
+    }
+
+    #[test]
+    fn output_shape_no_pad() {
+        let mut rng = crate::rng::seeded(0);
+        let conv = Conv2d::he(2, 4, 3, 0, &mut rng);
+        let x = Tensor::zeros(&[2, 2, 8, 8]);
+        let (y, _) = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 4, 6, 6]);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let mut rng = crate::rng::seeded(1);
+        let conv = Conv2d::he(2, 3, 3, 1, &mut rng);
+        let x = Tensor::from_fn(&[2, 2, 5, 5], |i| (i % 11) as f32 * 0.1);
+        let (y, c) = conv.forward(&x, true);
+        let g = Tensor::filled(y.shape(), 1.0);
+        let (gx, gp) = conv.backward(&x, &c, &g);
+        assert_eq!(gx.shape(), x.shape());
+        assert_eq!(gp[0].shape(), &[3, 2, 3, 3]);
+        assert_eq!(gp[1].shape(), &[3]);
+        // bias gradient = number of output pixels per channel per batch
+        assert_eq!(gp[1].as_slice()[0], (2 * 5 * 5) as f32);
+    }
+}

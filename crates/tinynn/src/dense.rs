@@ -1,0 +1,173 @@
+//! Fully-connected (affine) layer.
+
+use crate::init;
+use crate::layer::{Cache, Layer};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// A fully-connected layer computing `y = x · W + b` for `x: [B, in]`,
+/// `W: [in, out]`, `b: [out]`.
+///
+/// When the input has rank 3 (`[B, T, in]`, e.g. per-timestep logits of a
+/// language model) it is treated as `[B·T, in]`.
+pub struct Dense {
+    weight: Tensor,
+    bias: Tensor,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Dense {
+    /// Construct with explicit weights (mainly for tests).
+    pub fn new(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.rank(), 2, "Dense weight must be rank 2");
+        let in_dim = weight.shape()[0];
+        let out_dim = weight.shape()[1];
+        assert_eq!(bias.shape(), &[out_dim], "Dense bias shape mismatch");
+        Self {
+            weight,
+            bias,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Xavier-uniform initialized layer (good default for output layers).
+    pub fn xavier(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self::new(
+            init::xavier_uniform(&[in_dim, out_dim], in_dim, out_dim, rng),
+            Tensor::zeros(&[out_dim]),
+        )
+    }
+
+    /// He-normal initialized layer (good default before ReLU).
+    pub fn he(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self::new(
+            init::he_normal(&[in_dim, out_dim], in_dim, rng),
+            Tensor::zeros(&[out_dim]),
+        )
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// View the input as a rank-2 `[rows, in_dim]` tensor.
+    fn as_rows(&self, x: &Tensor) -> Tensor {
+        let rows = x.len() / self.in_dim;
+        assert_eq!(
+            rows * self.in_dim,
+            x.len(),
+            "Dense: input {:?} not divisible by in_dim {}",
+            x.shape(),
+            self.in_dim
+        );
+        x.clone().reshape(vec![rows, self.in_dim])
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+
+    fn forward(&self, x: &Tensor, _train: bool) -> (Tensor, Cache) {
+        let orig_shape = x.shape().to_vec();
+        let x2 = self.as_rows(x);
+        let mut y = x2.matmul(&self.weight);
+        let rows = y.shape()[0];
+        for i in 0..rows {
+            for (o, &b) in y.row_mut(i).iter_mut().zip(self.bias.as_slice()) {
+                *o += b;
+            }
+        }
+        // Preserve a leading batch structure: [..., in] -> [..., out]
+        let mut out_shape = orig_shape;
+        *out_shape.last_mut().expect("non-scalar input") = self.out_dim;
+        (y.reshape(out_shape), Cache::none())
+    }
+
+    fn backward(&self, x: &Tensor, _cache: &Cache, grad_out: &Tensor) -> (Tensor, Vec<Tensor>) {
+        let x2 = self.as_rows(x);
+        let rows = x2.shape()[0];
+        let g2 = grad_out.clone().reshape(vec![rows, self.out_dim]);
+        // dL/dW = xᵀ g, dL/db = Σ_rows g, dL/dx = g Wᵀ
+        let grad_w = x2.matmul_at(&g2);
+        let grad_b = g2.sum_rows();
+        let grad_x = g2.matmul_bt(&self.weight);
+        (grad_x.reshape(x.shape().to_vec()), vec![grad_w, grad_b])
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        // W = [[1,0],[0,1],[1,1]], b = [0.5, -0.5]
+        let w = Tensor::from_vec(vec![3, 2], vec![1., 0., 0., 1., 1., 1.]);
+        let b = Tensor::from_vec(vec![2], vec![0.5, -0.5]);
+        let layer = Dense::new(w, b);
+        let x = Tensor::from_vec(vec![1, 3], vec![1., 2., 3.]);
+        let (y, _) = layer.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.as_slice(), &[4.5, 4.5]);
+    }
+
+    #[test]
+    fn forward_rank3_keeps_time_axis() {
+        let mut rng = seeded(0);
+        let layer = Dense::xavier(4, 3, &mut rng);
+        let x = Tensor::from_fn(&[2, 5, 4], |i| i as f32 * 0.01);
+        let (y, _) = layer.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 5, 3]);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let mut rng = seeded(1);
+        let layer = Dense::xavier(4, 3, &mut rng);
+        let x = Tensor::from_fn(&[2, 4], |i| i as f32 * 0.1);
+        let (y, cache) = layer.forward(&x, true);
+        let g = Tensor::filled(y.shape(), 1.0);
+        let (gx, gp) = layer.backward(&x, &cache, &g);
+        assert_eq!(gx.shape(), x.shape());
+        assert_eq!(gp[0].shape(), &[4, 3]);
+        assert_eq!(gp[1].shape(), &[3]);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = seeded(2);
+        let layer = Dense::xavier(10, 7, &mut rng);
+        assert_eq!(layer.param_count(), 10 * 7 + 7);
+    }
+
+    #[test]
+    fn bias_gradient_sums_rows() {
+        let w = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[2]);
+        let layer = Dense::new(w, b);
+        let x = Tensor::from_vec(vec![3, 2], vec![0.0; 6]);
+        let (_, cache) = layer.forward(&x, true);
+        let g = Tensor::from_vec(vec![3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let (_, gp) = layer.backward(&x, &cache, &g);
+        assert_eq!(gp[1].as_slice(), &[9., 12.]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Inverted dropout.
+
+use crate::layer::{Cache, Layer};
+use crate::tensor::Tensor;
+use parking_lot_free::AtomicSeed;
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; at evaluation time
+/// the layer is the identity.
+///
+/// The mask RNG is derived from an internal counter so that repeated calls
+/// produce fresh masks while the layer itself stays `&self` during the pass.
+pub struct Dropout {
+    p: f32,
+    counter: AtomicSeed,
+}
+
+/// Tiny private helper: an atomic u64 used to derive per-call mask seeds.
+mod parking_lot_free {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Monotonic seed source shared across concurrent forward passes.
+    pub struct AtomicSeed(AtomicU64);
+
+    impl AtomicSeed {
+        /// Start from an explicit seed.
+        pub fn new(seed: u64) -> Self {
+            Self(AtomicU64::new(seed))
+        }
+
+        /// Fetch the next distinct seed.
+        pub fn next(&self) -> u64 {
+            self.0.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+        }
+    }
+}
+
+impl Dropout {
+    /// Create a dropout layer with drop probability `p` in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        Self {
+            p,
+            counter: AtomicSeed::new(seed),
+        }
+    }
+
+    /// The configured drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+
+    fn forward(&self, x: &Tensor, train: bool) -> (Tensor, Cache) {
+        if !train || self.p == 0.0 {
+            return (x.clone(), Cache::new(None::<Tensor>));
+        }
+        use rand::RngExt as _;
+        let mut rng = crate::rng::seeded(self.counter.next());
+        let keep = 1.0 - self.p;
+        let inv = 1.0 / keep;
+        let mask = Tensor::from_fn(x.shape(), |_| {
+            if rng.random::<f32>() < keep {
+                inv
+            } else {
+                0.0
+            }
+        });
+        let mut y = x.clone();
+        for (v, &m) in y.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+            *v *= m;
+        }
+        (y, Cache::new(Some(mask)))
+    }
+
+    fn backward(&self, _x: &Tensor, cache: &Cache, grad_out: &Tensor) -> (Tensor, Vec<Tensor>) {
+        let mask = cache.get::<Option<Tensor>>();
+        match mask {
+            None => (grad_out.clone(), Vec::new()),
+            Some(mask) => {
+                let mut g = grad_out.clone();
+                for (v, &m) in g.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                    *v *= m;
+                }
+                (g, Vec::new())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5, 1);
+        let x = Tensor::from_fn(&[10], |i| i as f32);
+        let (y, _) = d.forward(&x, false);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_p_fraction() {
+        let d = Dropout::new(0.5, 2);
+        let x = Tensor::filled(&[10_000], 1.0);
+        let (y, _) = d.forward(&x, true);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((4_000..6_000).contains(&zeros), "zeros = {zeros}");
+        // survivors are scaled by 1/(1-p) = 2
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let d = Dropout::new(0.3, 3);
+        let x = Tensor::filled(&[1000], 1.0);
+        let (y, c) = d.forward(&x, true);
+        let g = Tensor::filled(&[1000], 1.0);
+        let (gx, _) = d.backward(&x, &c, &g);
+        for (a, b) in y.as_slice().iter().zip(gx.as_slice()) {
+            assert_eq!(a, b, "gradient mask must equal forward mask");
+        }
+    }
+
+    #[test]
+    fn masks_differ_between_calls() {
+        let d = Dropout::new(0.5, 4);
+        let x = Tensor::filled(&[256], 1.0);
+        let (y1, _) = d.forward(&x, true);
+        let (y2, _) = d.forward(&x, true);
+        assert_ne!(y1.as_slice(), y2.as_slice());
+    }
+}

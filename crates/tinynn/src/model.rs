@@ -1,0 +1,303 @@
+//! [`Sequential`] model composition, gradient containers, and rayon
+//! data-parallel training steps.
+
+use crate::layer::{Cache, Layer};
+use crate::loss;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Gradients for every parameter of a model, in layer order.
+///
+/// `by_layer[i][j]` matches `model.layers()[i].params()[j]` in shape.
+pub struct Gradients {
+    /// Per-layer, per-parameter gradient tensors.
+    pub by_layer: Vec<Vec<Tensor>>,
+}
+
+impl Gradients {
+    /// Zero gradients shaped like `model`'s parameters.
+    pub fn zeros_like(model: &Sequential) -> Self {
+        Gradients {
+            by_layer: model
+                .layers
+                .iter()
+                .map(|l| {
+                    l.params()
+                        .iter()
+                        .map(|p| Tensor::zeros(p.shape()))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Accumulate `other` into `self`.
+    pub fn add_assign(&mut self, other: &Gradients) {
+        assert_eq!(self.by_layer.len(), other.by_layer.len());
+        for (a, b) in self.by_layer.iter_mut().zip(&other.by_layer) {
+            for (ga, gb) in a.iter_mut().zip(b) {
+                ga.add_assign(gb);
+            }
+        }
+    }
+
+    /// Multiply every gradient by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for layer in &mut self.by_layer {
+            for g in layer {
+                g.scale(s);
+            }
+        }
+    }
+
+    /// Global L2 norm across all gradients (useful for clipping/diagnostics).
+    pub fn l2_norm(&self) -> f32 {
+        self.by_layer
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(Tensor::sq_norm)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clip the global L2 norm to `max_norm`, returning the pre-clip norm.
+    pub fn clip_l2(&mut self, max_norm: f32) -> f32 {
+        let norm = self.l2_norm();
+        if norm > max_norm && norm > 0.0 {
+            self.scale(max_norm / norm);
+        }
+        norm
+    }
+}
+
+/// A feed-forward stack of layers executed in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Compose the given layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Borrow the layer stack.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutably borrow the layer stack.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Total learnable scalar count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// One-line human-readable architecture summary.
+    pub fn summary(&self) -> String {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        format!("{} ({} params)", names.join(" -> "), self.param_count())
+    }
+
+    /// Inference-mode forward pass (no caches, dropout disabled).
+    pub fn predict(&self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            let (out, _) = layer.forward(&cur, false);
+            cur = out;
+        }
+        cur
+    }
+
+    /// Training-mode forward pass retaining each layer's input and cache.
+    fn forward_train(&self, x: &Tensor) -> (Tensor, Vec<(Tensor, Cache)>) {
+        let mut tape = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            let (out, cache) = layer.forward(&cur, true);
+            tape.push((cur, cache));
+            cur = out;
+        }
+        (cur, tape)
+    }
+
+    /// Backward pass from a loss gradient through the recorded tape.
+    fn backward(&self, tape: &[(Tensor, Cache)], grad_out: Tensor) -> Gradients {
+        let mut grads = Vec::with_capacity(self.layers.len());
+        let mut g = grad_out;
+        for (layer, (input, cache)) in self.layers.iter().zip(tape).rev() {
+            let (gx, gp) = layer.backward(input, cache, &g);
+            grads.push(gp);
+            g = gx;
+        }
+        grads.reverse();
+        Gradients { by_layer: grads }
+    }
+
+    /// Forward + softmax-CE loss + backward on one batch.
+    ///
+    /// For sequence models, `targets` holds one class per *row* of the final
+    /// logits (i.e. `B·T` entries for `[B, T, V]` output).
+    pub fn loss_and_grads(&self, x: &Tensor, targets: &[u32]) -> (f32, Gradients) {
+        let (logits, tape) = self.forward_train(x);
+        let (loss_value, grad) = loss::softmax_cross_entropy(&logits, targets);
+        (loss_value, self.backward(&tape, grad))
+    }
+
+    /// Data-parallel version of [`Self::loss_and_grads`]: the batch is split
+    /// into `chunks` contiguous pieces which run forward+backward
+    /// concurrently; gradients are averaged with per-chunk weights
+    /// proportional to chunk size, which reproduces the serial result up to
+    /// floating-point re-association.
+    pub fn loss_and_grads_parallel(
+        &self,
+        x: &Tensor,
+        targets: &[u32],
+        chunks: usize,
+    ) -> (f32, Gradients) {
+        let b = x.shape()[0];
+        let chunks = chunks.clamp(1, b.max(1));
+        if chunks <= 1 || b <= 1 {
+            return self.loss_and_grads(x, targets);
+        }
+        let rows_per_sample = targets.len() / b;
+        assert_eq!(
+            rows_per_sample * b,
+            targets.len(),
+            "targets not divisible by batch"
+        );
+        let step = b.div_ceil(chunks);
+        let ranges: Vec<(usize, usize)> = (0..b)
+            .step_by(step)
+            .map(|s| (s, (s + step).min(b)))
+            .collect();
+        let results: Vec<(usize, f32, Gradients)> = ranges
+            .par_iter()
+            .map(|&(s, e)| {
+                let xc = x.slice_batch(s, e);
+                let tc = &targets[s * rows_per_sample..e * rows_per_sample];
+                let (l, g) = self.loss_and_grads(&xc, tc);
+                (e - s, l, g)
+            })
+            .collect();
+        let mut total = Gradients::zeros_like(self);
+        let mut loss_acc = 0.0f32;
+        for (n, l, mut g) in results {
+            let w = n as f32 / b as f32;
+            g.scale(w);
+            total.add_assign(&g);
+            loss_acc += l * w;
+        }
+        (loss_acc, total)
+    }
+
+    /// Inference-mode loss and accuracy on a labelled batch.
+    pub fn evaluate(&self, x: &Tensor, targets: &[u32]) -> (f32, f32) {
+        let logits = self.predict(x);
+        (
+            loss::cross_entropy(&logits, targets),
+            loss::accuracy(&logits, targets),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activations::Relu;
+    use crate::dense::Dense;
+    use crate::rng::seeded;
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = seeded(seed);
+        Sequential::new(vec![
+            Box::new(Dense::he(4, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::xavier(8, 3, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn summary_and_param_count() {
+        let m = tiny_model(0);
+        assert_eq!(m.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert!(m.summary().contains("Dense -> Relu -> Dense"));
+    }
+
+    #[test]
+    fn loss_decreases_with_sgd() {
+        use crate::optim::Sgd;
+        let mut m = tiny_model(1);
+        let x = Tensor::from_fn(&[8, 4], |i| ((i * 37 % 17) as f32 - 8.0) * 0.1);
+        let t: Vec<u32> = (0..8).map(|i| (i % 3) as u32).collect();
+        let mut sgd = Sgd::new(0.5);
+        let (l0, g) = m.loss_and_grads(&x, &t);
+        sgd.step(&mut m, &g);
+        for _ in 0..50 {
+            let (_, g) = m.loss_and_grads(&x, &t);
+            sgd.step(&mut m, &g);
+        }
+        let (l1, _) = m.loss_and_grads(&x, &t);
+        assert!(l1 < l0 * 0.5, "loss should halve: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn parallel_grads_match_serial() {
+        let m = tiny_model(2);
+        let x = Tensor::from_fn(&[16, 4], |i| ((i * 31 % 23) as f32 - 11.0) * 0.05);
+        let t: Vec<u32> = (0..16).map(|i| (i % 3) as u32).collect();
+        let (ls, gs) = m.loss_and_grads(&x, &t);
+        let (lp, gp) = m.loss_and_grads_parallel(&x, &t, 4);
+        assert!((ls - lp).abs() < 1e-5, "loss {ls} vs {lp}");
+        for (a, b) in gs
+            .by_layer
+            .iter()
+            .flatten()
+            .zip(gp.by_layer.iter().flatten())
+        {
+            for (va, vb) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((va - vb).abs() < 1e-5, "{va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_with_one_chunk_is_serial() {
+        let m = tiny_model(3);
+        let x = Tensor::from_fn(&[4, 4], |i| i as f32 * 0.1);
+        let t = [0u32, 1, 2, 0];
+        let (ls, _) = m.loss_and_grads(&x, &t);
+        let (lp, _) = m.loss_and_grads_parallel(&x, &t, 1);
+        assert_eq!(ls, lp);
+    }
+
+    #[test]
+    fn gradients_container_math() {
+        let m = tiny_model(4);
+        let mut g = Gradients::zeros_like(&m);
+        assert_eq!(g.l2_norm(), 0.0);
+        g.by_layer[0][0].as_mut_slice()[0] = 3.0;
+        g.by_layer[0][0].as_mut_slice()[1] = 4.0;
+        assert!((g.l2_norm() - 5.0).abs() < 1e-6);
+        let pre = g.clip_l2(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((g.l2_norm() - 1.0).abs() < 1e-5);
+        let mut g2 = Gradients::zeros_like(&m);
+        g2.add_assign(&g);
+        g2.scale(2.0);
+        assert!((g2.l2_norm() - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn evaluate_reports_loss_and_accuracy() {
+        let m = tiny_model(5);
+        let x = Tensor::from_fn(&[6, 4], |i| (i as f32).cos());
+        let t = [0u32, 1, 2, 0, 1, 2];
+        let (l, a) = m.evaluate(&x, &t);
+        assert!(l > 0.0);
+        assert!((0.0..=1.0).contains(&a));
+    }
+}

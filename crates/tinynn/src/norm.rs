@@ -1,0 +1,186 @@
+//! Layer normalization.
+
+use crate::layer::{Cache, Layer};
+use crate::tensor::Tensor;
+
+/// Layer normalization over the last axis: each row (feature vector) is
+/// standardized to zero mean / unit variance, then scaled and shifted by
+/// learnable `gain` and `bias`. Stabilizes deep stacks (e.g. multi-layer
+/// LSTMs) without batch statistics, so train and eval behave identically.
+pub struct LayerNorm {
+    gain: Tensor,
+    bias: Tensor,
+    dim: usize,
+    eps: f32,
+}
+
+/// Per-row statistics retained for the backward pass.
+struct NormCache {
+    /// Normalized activations `x̂` (pre gain/bias), flattened `[rows, dim]`.
+    xhat: Vec<f32>,
+    /// Per-row `1 / sqrt(var + eps)`.
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Construct over feature width `dim` (gain = 1, bias = 0).
+    pub fn new(dim: usize) -> Self {
+        Self {
+            gain: Tensor::filled(&[dim], 1.0),
+            bias: Tensor::zeros(&[dim]),
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Feature width this layer normalizes.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn rows(&self, x: &Tensor) -> usize {
+        assert_eq!(
+            *x.shape().last().expect("non-scalar input"),
+            self.dim,
+            "LayerNorm width mismatch"
+        );
+        x.len() / self.dim
+    }
+}
+
+impl Layer for LayerNorm {
+    fn name(&self) -> &'static str {
+        "LayerNorm"
+    }
+
+    fn forward(&self, x: &Tensor, _train: bool) -> (Tensor, Cache) {
+        let rows = self.rows(x);
+        let d = self.dim;
+        let mut out = vec![0.0f32; rows * d];
+        let mut xhat = vec![0.0f32; rows * d];
+        let mut inv_std = vec![0.0f32; rows];
+        let g = self.gain.as_slice();
+        let b = self.bias.as_slice();
+        for r in 0..rows {
+            let row = &x.as_slice()[r * d..(r + 1) * d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let is = 1.0 / (var + self.eps).sqrt();
+            inv_std[r] = is;
+            for j in 0..d {
+                let xh = (row[j] - mean) * is;
+                xhat[r * d + j] = xh;
+                out[r * d + j] = g[j] * xh + b[j];
+            }
+        }
+        (
+            Tensor::from_vec(x.shape().to_vec(), out),
+            Cache::new(NormCache { xhat, inv_std }),
+        )
+    }
+
+    fn backward(&self, x: &Tensor, cache: &Cache, grad_out: &Tensor) -> (Tensor, Vec<Tensor>) {
+        let rows = self.rows(x);
+        let d = self.dim;
+        let c = cache.get::<NormCache>();
+        let g = self.gain.as_slice();
+        let go = grad_out.as_slice();
+        let mut grad_gain = vec![0.0f32; d];
+        let mut grad_bias = vec![0.0f32; d];
+        let mut grad_x = vec![0.0f32; rows * d];
+        for r in 0..rows {
+            let xh = &c.xhat[r * d..(r + 1) * d];
+            let gor = &go[r * d..(r + 1) * d];
+            // dL/dx̂, and the two row reductions the chain rule needs
+            let mut sum_dxhat = 0.0f32;
+            let mut sum_dxhat_xhat = 0.0f32;
+            for j in 0..d {
+                grad_gain[j] += gor[j] * xh[j];
+                grad_bias[j] += gor[j];
+                let dxh = gor[j] * g[j];
+                sum_dxhat += dxh;
+                sum_dxhat_xhat += dxh * xh[j];
+            }
+            let inv_d = 1.0 / d as f32;
+            for j in 0..d {
+                let dxh = gor[j] * g[j];
+                grad_x[r * d + j] =
+                    c.inv_std[r] * (dxh - inv_d * sum_dxhat - xh[j] * inv_d * sum_dxhat_xhat);
+            }
+        }
+        (
+            Tensor::from_vec(x.shape().to_vec(), grad_x),
+            vec![
+                Tensor::from_vec(vec![d], grad_gain),
+                Tensor::from_vec(vec![d], grad_bias),
+            ],
+        )
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.gain, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.gain, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_rows() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![2, 4], vec![1., 2., 3., 4., 10., 10., 10., 10.]);
+        let (y, _) = ln.forward(&x, false);
+        // first row standardized: mean 0, unit variance
+        let row = &y.as_slice()[..4];
+        let mean: f32 = row.iter().sum::<f32>() / 4.0;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+        // constant row maps to ~zero (variance eps guard)
+        assert!(y.as_slice()[4..].iter().all(|v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn rank3_sequences_normalized_per_position() {
+        let ln = LayerNorm::new(3);
+        let x = Tensor::from_fn(&[2, 4, 3], |i| (i as f32).sin() * 3.0);
+        let (y, _) = ln.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 4, 3]);
+        for r in 0..8 {
+            let row = &y.as_slice()[r * 3..(r + 1) * 3];
+            let mean: f32 = row.iter().sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn gradients_check_numerically() {
+        use crate::dense::Dense;
+        use crate::gradcheck::check_gradients;
+        use crate::model::Sequential;
+        use crate::rng::seeded;
+        let mut rng = seeded(21);
+        let mut m = Sequential::new(vec![
+            Box::new(Dense::xavier(4, 5, &mut rng)),
+            Box::new(LayerNorm::new(5)),
+            Box::new(Dense::xavier(5, 3, &mut rng)),
+        ]);
+        let x = Tensor::from_fn(&[3, 4], |i| ((i * 17 % 11) as f32 - 5.0) * 0.3);
+        let t = [0u32, 1, 2];
+        let r = check_gradients(&mut m, &x, &t, 1e-2, 60, 7);
+        assert!(r.max_rel_err < 2e-2, "layernorm grad check failed: {r:?}");
+    }
+
+    #[test]
+    fn param_count_and_names() {
+        let ln = LayerNorm::new(7);
+        assert_eq!(ln.param_count(), 14);
+        assert_eq!(ln.name(), "LayerNorm");
+        assert_eq!(ln.dim(), 7);
+    }
+}

@@ -1,0 +1,117 @@
+//! Tangle defense vs centralized BFT aggregation under the same attack.
+//!
+//! The paper's related work (§II-A) contrasts its ledger-level defense with
+//! server-side byzantine-tolerant aggregation (Krum and friends). Here the
+//! same population — 25% of it flooding random-noise updates — trains under
+//! four regimes: plain FedAvg, FedAvg + Multi-Krum, FedAvg + coordinate
+//! median, and the defended learning tangle.
+//!
+//! ```text
+//! cargo run --release --example robust_baselines
+//! ```
+
+use tangle_learning::baseline::{Aggregator, FedAvg, FedAvgConfig};
+use tangle_learning::data::blobs::{self, BlobsConfig};
+use tangle_learning::learning::{
+    assign_malicious, AttackKind, SimConfig, Simulation, TangleHyperParams,
+};
+use tangle_learning::nn::rng::seeded;
+use tangle_learning::nn::zoo::mlp;
+
+const PRETRAIN: u64 = 15;
+const ATTACK: u64 = 30;
+const POISON_FRACTION: f64 = 0.25;
+const NODES: usize = 8;
+
+fn dataset() -> tangle_learning::data::FederatedDataset {
+    blobs::generate(
+        &BlobsConfig {
+            users: 24,
+            samples_per_user: (24, 36),
+            noise_std: 0.7,
+            ..BlobsConfig::default()
+        },
+        17,
+    )
+}
+
+fn build() -> tangle_learning::nn::Sequential {
+    mlp(8, &[16], 4, &mut seeded(1))
+}
+
+fn run_fedavg(label: &str, aggregator: Aggregator) -> f32 {
+    let data = dataset();
+    let n_poison = (data.num_clients() as f64 * POISON_FRACTION) as usize;
+    let mut fa = FedAvg::new(
+        &data,
+        FedAvgConfig {
+            nodes_per_round: NODES,
+            lr: 0.15,
+            seed: 3,
+            aggregator,
+            ..FedAvgConfig::default()
+        },
+        build,
+    );
+    for _ in 0..PRETRAIN {
+        fa.round();
+    }
+    fa.set_random_poisoners(0..n_poison);
+    for _ in 0..ATTACK {
+        fa.round();
+    }
+    let (_, acc) = fa.evaluate(1.0, 0);
+    println!("{label:<26} final accuracy {acc:.3}");
+    acc
+}
+
+fn run_tangle() -> f32 {
+    let data = dataset();
+    let cfg = SimConfig {
+        nodes_per_round: NODES,
+        lr: 0.15,
+        eval_fraction: 1.0,
+        seed: 3,
+        hyper: TangleHyperParams {
+            alpha: 0.5,
+            reference_avg: 5,
+            ..TangleHyperParams::robust(NODES)
+        },
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(data, cfg, build);
+    assign_malicious(
+        sim.nodes_mut(),
+        POISON_FRACTION,
+        PRETRAIN + 1,
+        AttackKind::RandomNoise,
+        9,
+        |_| None,
+    );
+    for _ in 0..(PRETRAIN + ATTACK) {
+        sim.round();
+    }
+    let acc = sim.evaluate(0).accuracy;
+    println!("{:<26} final accuracy {acc:.3}", "learning tangle (§III-E)");
+    acc
+}
+
+fn main() {
+    println!(
+        "{}% of clients turn malicious after {PRETRAIN} benign rounds and submit \
+         random noise for the remaining {ATTACK} rounds:\n",
+        (POISON_FRACTION * 100.0) as u32
+    );
+    let mean = run_fedavg("fedavg (mean)", Aggregator::Mean);
+    let krum = run_fedavg("fedavg + multi-krum", Aggregator::MultiKrum { f: 2, m: 4 });
+    let median = run_fedavg("fedavg + median", Aggregator::Median);
+    let tangle = run_tangle();
+    println!();
+    if tangle > mean && krum > mean && median > mean {
+        println!(
+            "both the ledger-level defense ({tangle:.2}) and server-side BFT aggregation \
+             ({krum:.2} / {median:.2}) survive an attack that breaks the plain mean ({mean:.2}) \
+             — but only the tangle needs no trusted server."
+        );
+    }
+}

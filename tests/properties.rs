@@ -1,0 +1,171 @@
+//! Cross-crate property-based tests (proptest) on the system's invariants.
+
+use proptest::prelude::*;
+use tangle_learning::ledger::analysis::{cumulative_weights, ratings, ConsensusView, TxClass};
+use tangle_learning::ledger::{BitSet, Tangle, TxId};
+use tangle_learning::nn::ParamVec;
+
+/// Build a tangle from an arbitrary parent-choice script: element `i` of
+/// `script` selects the parents of transaction `i+1` among the
+/// transactions existing at that point.
+fn tangle_from_script(script: &[(u8, u8)]) -> Tangle<u32> {
+    let mut t = Tangle::new(0);
+    for (i, &(a, b)) in script.iter().enumerate() {
+        let n = t.len() as u32;
+        let pa = TxId(a as u32 % n);
+        let pb = TxId(b as u32 % n);
+        t.add(i as u32 + 1, vec![pa, pb]).unwrap();
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parent ids always precede child ids (the DAG is acyclic by
+    /// construction) and tips are exactly the unapproved transactions.
+    #[test]
+    fn tangle_invariants(script in prop::collection::vec((any::<u8>(), any::<u8>()), 0..40)) {
+        let t = tangle_from_script(&script);
+        // acyclicity via topological ids
+        for tx in t.transactions() {
+            for p in &tx.parents {
+                prop_assert!(*p < tx.id);
+            }
+        }
+        // tip characterization
+        let tips = t.tips();
+        for tx in t.transactions() {
+            let is_tip = tips.contains(&tx.id);
+            prop_assert_eq!(is_tip, t.approvers(tx.id).is_empty());
+        }
+        // every non-genesis transaction indirectly approves the genesis
+        for tx in t.transactions().iter().skip(1) {
+            prop_assert!(t.approves(tx.id, t.genesis()));
+        }
+    }
+
+    /// Cumulative weight and rating are consistent with brute-force
+    /// reachability, and the genesis dominates both extremes.
+    #[test]
+    fn weights_match_bruteforce(script in prop::collection::vec((any::<u8>(), any::<u8>()), 1..30)) {
+        let t = tangle_from_script(&script);
+        let w = cumulative_weights(&t);
+        let r = ratings(&t);
+        let n = t.len();
+        for i in 0..n {
+            let id = TxId(i as u32);
+            // brute force: count descendants and ancestors
+            let ancestors = t.past_cone(id).len();
+            let mut descendants = 0;
+            for j in 0..n {
+                if t.approves(TxId(j as u32), id) {
+                    descendants += 1;
+                }
+            }
+            prop_assert_eq!(r[i] as usize, ancestors, "rating of {}", id);
+            prop_assert_eq!(w[i] as usize, descendants + 1, "weight of {}", id);
+        }
+        // genesis: approved by everyone, approves nothing
+        prop_assert_eq!(w[0] as usize, n);
+        prop_assert_eq!(r[0], 0);
+    }
+
+    /// The Fig. 2 classification is a partition and confirmed transactions
+    /// are exactly those reached from every tip.
+    #[test]
+    fn consensus_view_partition(script in prop::collection::vec((any::<u8>(), any::<u8>()), 1..30)) {
+        let t = tangle_from_script(&script);
+        let view = ConsensusView::compute(&t);
+        prop_assert_eq!(view.classes.len(), t.len());
+        let tips = t.tips();
+        for (i, class) in view.classes.iter().enumerate() {
+            let id = TxId(i as u32);
+            let reached_by_all = tips.iter().all(|&tip| tip == id || t.approves(tip, id));
+            match class {
+                TxClass::Genesis => prop_assert_eq!(id, t.genesis()),
+                TxClass::Tip => prop_assert!(t.is_tip(id)),
+                TxClass::Confirmed => {
+                    prop_assert!(reached_by_all && !t.is_tip(id) && id != t.genesis())
+                }
+                TxClass::Pending => {
+                    prop_assert!(!reached_by_all && !t.is_tip(id) && id != t.genesis())
+                }
+            }
+        }
+    }
+
+    /// Wire codec: decode(encode(p)) == p for arbitrary finite params.
+    #[test]
+    fn wire_roundtrip(values in prop::collection::vec(-1e6f32..1e6, 0..200)) {
+        let p = ParamVec(values);
+        let enc = tangle_learning::nn::wire::encode(&p);
+        let dec = tangle_learning::nn::wire::decode(&enc).unwrap();
+        prop_assert_eq!(dec, p);
+    }
+
+    /// Averaging is idempotent on identical vectors and bounded by the
+    /// coordinate-wise min/max of its inputs.
+    #[test]
+    fn averaging_bounds(
+        a in prop::collection::vec(-100f32..100.0, 1..64),
+        delta in prop::collection::vec(-100f32..100.0, 1..64),
+    ) {
+        let n = a.len().min(delta.len());
+        let a = ParamVec(a[..n].to_vec());
+        let b = ParamVec(a.as_slice().iter().zip(&delta[..n]).map(|(x, d)| x + d).collect());
+        let same = ParamVec::average(&[&a, &a]);
+        for (x, y) in same.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+        let avg = ParamVec::average(&[&a, &b]);
+        for i in 0..n {
+            let lo = a.as_slice()[i].min(b.as_slice()[i]) - 1e-4;
+            let hi = a.as_slice()[i].max(b.as_slice()[i]) + 1e-4;
+            prop_assert!(avg.as_slice()[i] >= lo && avg.as_slice()[i] <= hi);
+        }
+    }
+
+    /// BitSet behaves like a HashSet model under arbitrary operations.
+    #[test]
+    fn bitset_vs_hashset(ops in prop::collection::vec((any::<bool>(), 0usize..200), 0..200)) {
+        let mut bs = BitSet::new(200);
+        let mut hs = std::collections::HashSet::new();
+        for (insert, idx) in ops {
+            if insert {
+                bs.insert(idx);
+                hs.insert(idx);
+            } else {
+                bs.remove(idx);
+                hs.remove(&idx);
+            }
+        }
+        prop_assert_eq!(bs.count(), hs.len());
+        let from_iter: std::collections::HashSet<usize> = bs.iter().collect();
+        prop_assert_eq!(from_iter, hs);
+    }
+
+    /// Dirichlet partitions cover every index exactly once for any α.
+    #[test]
+    fn dirichlet_partition_is_exact(
+        n in 1usize..200,
+        users in 1usize..12,
+        alpha in 0.05f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let labels: Vec<u32> = (0..n).map(|i| (i % 5) as u32).collect();
+        let mut rng = tangle_learning::nn::rng::seeded(seed);
+        let parts = tangle_learning::data::partition::dirichlet_partition(&labels, 5, users, alpha, &mut rng);
+        prop_assert_eq!(parts.len(), users);
+        let mut all: Vec<usize> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Proof-of-work solutions verify, at any difficulty we can afford.
+    #[test]
+    fn pow_solve_verifies(payload in any::<u64>(), difficulty in 0u32..10) {
+        let nonce = tangle_learning::ledger::pow::solve(payload, difficulty);
+        prop_assert!(tangle_learning::ledger::pow::verify(payload, nonce, difficulty));
+    }
+}
