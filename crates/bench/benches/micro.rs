@@ -108,6 +108,85 @@ fn bench_training(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    // Hot-path probe: the observed tip-selection walk with a disabled
+    // handle must cost the same as the raw walk (one Option check).
+    let t = synthetic_tangle(30, 10);
+    let analysis = TangleAnalysis::compute(&t);
+    let walk = RandomWalk::default();
+    let disabled = lt_telemetry::Telemetry::disabled();
+    g.bench_function("tip_selection_raw", |b| {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        b.iter(|| {
+            black_box(walk.select_tip_with_weights(&t, &analysis.cumulative_weight, &mut rng))
+        })
+    });
+    g.bench_function("tip_selection_noop_telemetry", |b| {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        b.iter(|| {
+            black_box(walk.select_tip_observed(
+                &t,
+                &analysis.cumulative_weight,
+                &mut rng,
+                &disabled,
+            ))
+        })
+    });
+    // Whole-round probe: Simulation::round with the default (disabled)
+    // handle vs. an attached no-op sink.
+    g.sample_size(10);
+    let data = feddata::blobs::generate(
+        &feddata::blobs::BlobsConfig {
+            users: 8,
+            samples_per_user: (24, 32),
+            noise_std: 0.6,
+            ..feddata::blobs::BlobsConfig::default()
+        },
+        7,
+    );
+    let build = || tinynn::zoo::mlp(8, &[12], 4, &mut seeded(5));
+    let cfg = learning_tangle::SimConfig {
+        nodes_per_round: 4,
+        lr: 0.15,
+        local_epochs: 1,
+        batch_size: 8,
+        eval_fraction: 0.5,
+        seed: 3,
+        hyper: learning_tangle::TangleHyperParams {
+            confidence_samples: 8,
+            ..learning_tangle::TangleHyperParams::basic()
+        },
+        network: None,
+    };
+    g.bench_function("sim_round_disabled", |b| {
+        b.iter_batched(
+            || learning_tangle::Simulation::new(data.clone(), cfg.clone(), build),
+            |mut sim| {
+                for _ in 0..3 {
+                    black_box(sim.round());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("sim_round_noop_telemetry", |b| {
+        b.iter_batched(
+            || {
+                learning_tangle::Simulation::new(data.clone(), cfg.clone(), build)
+                    .with_telemetry(lt_telemetry::Telemetry::new(lt_telemetry::NoopSink))
+            },
+            |mut sim| {
+                for _ in 0..3 {
+                    black_box(sim.round());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_pow(c: &mut Criterion) {
     let mut g = c.benchmark_group("proof_of_work");
     g.sample_size(20);
@@ -147,6 +226,7 @@ criterion_group!(
     bench_tangle_analysis,
     bench_param_aggregation,
     bench_wire_codec,
+    bench_telemetry_overhead,
     bench_training,
     bench_pow,
     bench_dataset_generation

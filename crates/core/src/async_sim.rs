@@ -57,6 +57,27 @@ pub fn run_async(
     workers: usize,
     target_transactions: usize,
 ) -> AsyncRun {
+    run_async_observed(
+        nodes,
+        cfg,
+        build,
+        workers,
+        target_transactions,
+        lt_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// Like [`run_async`], additionally recording per-publication
+/// [`lt_telemetry::AsyncPublishEvent`]s plus `async.published` /
+/// `async.discarded` counters into `telemetry`.
+pub fn run_async_observed(
+    nodes: &[Node],
+    cfg: &SimConfig,
+    build: impl Fn() -> Sequential + Sync,
+    workers: usize,
+    target_transactions: usize,
+    telemetry: lt_telemetry::Telemetry,
+) -> AsyncRun {
     assert!(workers >= 1, "need at least one worker");
     let genesis = Arc::new(ParamVec::from_model(&build()));
     let ledger = RwLock::new(Tangle::new(genesis));
@@ -71,6 +92,7 @@ pub fn run_async(
             let build = &build;
             let tx_events = tx_events.clone();
             let tx_disc = tx_disc.clone();
+            let telemetry = telemetry.clone();
             scope.spawn(move || {
                 let mut rng = seeded(derive(cfg.seed, 0xA11C ^ w as u64));
                 let mut step = 0u64;
@@ -81,11 +103,12 @@ pub fn run_async(
                     let snapshot = ledger.read().clone();
                     let snapshot_len = snapshot.len();
                     let vround = snapshot_len as u64;
-                    let ctx = RoundContext::build(
+                    let ctx = RoundContext::build_observed(
                         &snapshot,
                         cfg,
                         vround,
                         derive(cfg.seed, (w as u64) << 40 | step),
+                        telemetry.clone(),
                     );
                     let mut node_rng = seeded(derive(
                         cfg.seed,
@@ -108,11 +131,21 @@ pub fn run_async(
                                 tangle_len: len,
                                 snapshot_len,
                             });
+                            telemetry.count("async.published", 1);
+                            telemetry.emit(|| {
+                                lt_telemetry::Event::AsyncPublish(lt_telemetry::AsyncPublishEvent {
+                                    worker: w as u64,
+                                    node: ni as u64,
+                                    tangle_len: len as u64,
+                                    snapshot_len: snapshot_len as u64,
+                                })
+                            });
                             if len >= target_transactions {
                                 done.store(true, Ordering::Relaxed);
                             }
                         }
                         None => {
+                            telemetry.count("async.discarded", 1);
                             let _ = tx_disc.send(());
                         }
                     }

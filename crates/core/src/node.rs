@@ -137,19 +137,42 @@ pub struct RoundContext<'a> {
     pub depths: Option<Vec<u32>>,
     /// The configured window (mirrors `hyper.window`).
     pub window: Option<u32>,
+    /// Observability handle shared by every node this round (disabled by
+    /// default, see [`lt_telemetry::Telemetry`]).
+    pub telemetry: lt_telemetry::Telemetry,
 }
 
 impl<'a> RoundContext<'a> {
     /// Build the shared context for `round` (Algorithm 1 happens here).
     pub fn build(tangle: &'a Tangle<ModelParams>, cfg: &SimConfig, round: u64, seed: u64) -> Self {
-        let analysis = TangleAnalysis::compute(tangle);
+        Self::build_observed(
+            tangle,
+            cfg,
+            round,
+            seed,
+            lt_telemetry::Telemetry::disabled(),
+        )
+    }
+
+    /// Like [`Self::build`], threading an observability handle through the
+    /// analysis, confidence sampling, and all later tip selection.
+    pub fn build_observed(
+        tangle: &'a Tangle<ModelParams>,
+        cfg: &SimConfig,
+        round: u64,
+        seed: u64,
+        telemetry: lt_telemetry::Telemetry,
+    ) -> Self {
+        let analysis = TangleAnalysis::compute_observed(tangle, &telemetry);
         let walk = RandomWalk::new(cfg.hyper.alpha);
         let samples = cfg.hyper.confidence_samples.max(1);
         let confidence = match cfg.hyper.confidence_mode {
             crate::config::ConfidenceMode::WalkHit => {
-                analysis.walk_confidence(tangle, &walk, samples, seed)
+                analysis.walk_confidence_observed(tangle, &walk, samples, seed, &telemetry)
             }
             crate::config::ConfidenceMode::Approval => {
+                let _span = telemetry.span("tangle.confidence_us");
+                telemetry.count("tangle.confidence_walks", samples as u64);
                 analysis.approval_confidence(tangle, &walk, samples, seed)
             }
         };
@@ -173,6 +196,7 @@ impl<'a> RoundContext<'a> {
             walk,
             depths,
             window: cfg.hyper.window,
+            telemetry,
         }
     }
 
@@ -182,16 +206,18 @@ impl<'a> RoundContext<'a> {
     pub fn sample_tip(&self, rng: &mut dyn rand::Rng) -> TxId {
         match (self.window, &self.depths) {
             (Some(w), Some(depths)) => tangle_ledger::walk::WindowedWalk::new(self.walk, w)
-                .select_tip_with_weights(
+                .select_tip_observed(
                     self.tangle,
                     &self.analysis.cumulative_weight,
                     depths,
                     rng,
+                    &self.telemetry,
                 ),
-            _ => self.walk.select_tip_with_weights(
+            _ => self.walk.select_tip_observed(
                 self.tangle,
                 &self.analysis.cumulative_weight,
                 rng,
+                &self.telemetry,
             ),
         }
     }
@@ -317,14 +343,17 @@ fn honest_step(
 
     // Train locally from the averaged base.
     avg.assign_to(&mut model);
-    local_train(
-        &mut model,
-        data,
-        cfg.local_epochs,
-        cfg.lr,
-        cfg.batch_size,
-        rng,
-    );
+    {
+        let _span = ctx.telemetry.span("node.local_train_us");
+        local_train(
+            &mut model,
+            data,
+            cfg.local_epochs,
+            cfg.lr,
+            cfg.batch_size,
+            rng,
+        );
+    }
     let new_params = ParamVec::from_model(&model);
     let (new_loss, _) = model.evaluate(&data.test_x, &data.test_y);
 

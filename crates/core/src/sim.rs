@@ -11,6 +11,7 @@ use crate::config::SimConfig;
 use crate::dp::DpConfig;
 use crate::node::{node_step, ModelParams, Node, RoundContext};
 use feddata::{ClientData, FederatedDataset};
+use lt_telemetry::{Event, ReferenceEntry, RoundEvent, StepEvent, Telemetry};
 use rand::RngExt;
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -60,6 +61,8 @@ pub struct Simulation<'a> {
     round_end_len: Vec<usize>,
     /// Publications dropped by the lossy network so far.
     lost_publications: u64,
+    /// Observability handle; disabled (no-op) unless attached.
+    telemetry: Telemetry,
 }
 
 impl<'a> Simulation<'a> {
@@ -87,12 +90,31 @@ impl<'a> Simulation<'a> {
             round: 0,
             round_end_len: vec![1],
             lost_publications: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 
     /// Publications dropped so far by the lossy-network model.
     pub fn lost_publications(&self) -> u64 {
         self.lost_publications
+    }
+
+    /// Attach an observability handle (builder style). Training rounds
+    /// record metrics and emit [`Event`]s through it; evaluation helpers
+    /// stay unobserved so counters reflect training work only.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Attach or replace the observability handle in place.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The current observability handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Enable differential-privacy noise on all published parameters.
@@ -139,6 +161,7 @@ impl<'a> Simulation<'a> {
             round: 1,
             round_end_len: vec![1, len],
             lost_publications: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -184,17 +207,62 @@ impl<'a> Simulation<'a> {
         // All sampled nodes run Algorithm 2. On an ideal network they share
         // one round context (everyone sees the end of the previous round);
         // under a NetworkModel each node reconstructs its own stale view.
+        let tel = self.telemetry.clone();
+        let mut phases = tel.phases();
+        let mut reference_entries: Vec<ReferenceEntry> = Vec::new();
         let outcomes: Vec<(usize, crate::node::StepOutcome)> = match self.cfg.network {
             None => {
-                let ctx = RoundContext::build(
-                    &self.tangle,
-                    &self.cfg,
-                    round,
-                    derive(self.cfg.seed, round ^ 0xC0FF_EE00),
-                );
+                let ctx = phases.measure("analysis", || {
+                    RoundContext::build_observed(
+                        &self.tangle,
+                        &self.cfg,
+                        round,
+                        derive(self.cfg.seed, round ^ 0xC0FF_EE00),
+                        tel.clone(),
+                    )
+                });
+                if tel.enabled() {
+                    reference_entries = ctx
+                        .reference_ids
+                        .iter()
+                        .map(|id| ReferenceEntry {
+                            tx: id.index() as u32,
+                            confidence: ctx.confidence[id.index()],
+                            rating: ctx.analysis.rating[id.index()],
+                        })
+                        .collect();
+                }
+                phases.measure("step", || {
+                    idx.par_iter()
+                        .map(|&ni| {
+                            let mut node_rng =
+                                seeded(derive(self.cfg.seed, (round << 24) ^ ni as u64));
+                            let out = node_step(
+                                &self.nodes[ni],
+                                &ctx,
+                                self.build.as_ref(),
+                                &self.cfg,
+                                &mut node_rng,
+                            );
+                            (ni, out)
+                        })
+                        .collect()
+                })
+            }
+            Some(net) => phases.measure("step", || {
                 idx.par_iter()
                     .map(|&ni| {
                         let mut node_rng = seeded(derive(self.cfg.seed, (round << 24) ^ ni as u64));
+                        let delay = node_rng.random_range(0..=net.max_delay_rounds);
+                        let view_round = (round - 1).saturating_sub(delay) as usize;
+                        let view = self.tangle.prefix(self.round_end_len[view_round]);
+                        let ctx = RoundContext::build_observed(
+                            &view,
+                            &self.cfg,
+                            round,
+                            derive(self.cfg.seed, (round ^ 0xC0FF_EE00) ^ (ni as u64) << 32),
+                            tel.clone(),
+                        );
                         let out = node_step(
                             &self.nodes[ni],
                             &ctx,
@@ -205,71 +273,96 @@ impl<'a> Simulation<'a> {
                         (ni, out)
                     })
                     .collect()
-            }
-            Some(net) => idx
-                .par_iter()
-                .map(|&ni| {
-                    let mut node_rng = seeded(derive(self.cfg.seed, (round << 24) ^ ni as u64));
-                    let delay = node_rng.random_range(0..=net.max_delay_rounds);
-                    let view_round = (round - 1).saturating_sub(delay) as usize;
-                    let view = self.tangle.prefix(self.round_end_len[view_round]);
-                    let ctx = RoundContext::build(
-                        &view,
-                        &self.cfg,
-                        round,
-                        derive(self.cfg.seed, (round ^ 0xC0FF_EE00) ^ (ni as u64) << 32),
-                    );
-                    let out = node_step(
-                        &self.nodes[ni],
-                        &ctx,
-                        self.build.as_ref(),
-                        &self.cfg,
-                        &mut node_rng,
-                    );
-                    (ni, out)
-                })
-                .collect(),
+            }),
         };
         // Round barrier: publish everything at once.
         let mut published = 0;
         let mut malicious_published = 0;
+        let mut rejected = 0u64;
         let mut dp_rng = seeded(derive(self.cfg.seed, round ^ 0xD11F_F00D));
         let mut loss_rng = seeded(derive(self.cfg.seed, round ^ 0x1057_0000));
-        for (ni, out) in outcomes {
-            if let Some(mut p) = out.publish {
-                if let Some(net) = self.cfg.network {
-                    if net.publish_loss > 0.0 && loss_rng.random_range(0.0..1.0) < net.publish_loss
-                    {
-                        self.lost_publications += 1;
-                        continue;
+        phases.measure("publish", || {
+            for (ni, out) in outcomes {
+                let mut accepted = false;
+                let mut parents: Vec<u32> = Vec::new();
+                match out.publish {
+                    None => rejected += 1,
+                    Some(mut p) => {
+                        let lost = self.cfg.network.is_some_and(|net| {
+                            net.publish_loss > 0.0
+                                && loss_rng.random_range(0.0..1.0) < net.publish_loss
+                        });
+                        if lost {
+                            self.lost_publications += 1;
+                            tel.count("sim.lost_publications", 1);
+                        } else {
+                            if let Some(dp) = &self.dp {
+                                // Privatize relative to the averaged parent base.
+                                let bases: Vec<&ParamVec> = p
+                                    .parents
+                                    .iter()
+                                    .map(|id| self.tangle.get(*id).payload.as_ref())
+                                    .collect();
+                                let base = ParamVec::average(&bases);
+                                p.params = crate::dp::privatize(&p.params, &base, dp, &mut dp_rng);
+                            }
+                            if self.nodes[ni].is_malicious(round) {
+                                malicious_published += 1;
+                            }
+                            parents = p.parents.iter().map(|id| id.index() as u32).collect();
+                            self.tangle
+                                .add_meta(Arc::new(p.params), p.parents, ni as u64, round)
+                                .expect("parents come from the same tangle");
+                            published += 1;
+                            accepted = true;
+                        }
                     }
                 }
-                if let Some(dp) = &self.dp {
-                    // Privatize relative to the averaged parent base.
-                    let parents: Vec<&ParamVec> = p
-                        .parents
-                        .iter()
-                        .map(|id| self.tangle.get(*id).payload.as_ref())
-                        .collect();
-                    let base = ParamVec::average(&parents);
-                    p.params = crate::dp::privatize(&p.params, &base, dp, &mut dp_rng);
-                }
-                if self.nodes[ni].is_malicious(round) {
-                    malicious_published += 1;
-                }
-                self.tangle
-                    .add_meta(Arc::new(p.params), p.parents, ni as u64, round)
-                    .expect("parents come from the same tangle");
-                published += 1;
+                tel.emit(|| {
+                    Event::Step(StepEvent {
+                        round,
+                        node: ni as u64,
+                        accepted,
+                        parents,
+                        new_loss: out.new_loss,
+                        reference_loss: out.reference_loss,
+                    })
+                });
             }
-        }
+        });
         self.round_end_len.push(self.tangle.len());
+        let tips = self.tangle.tip_count();
+        tel.count("sim.published", published as u64);
+        tel.count("sim.rejected", rejected);
+        if tel.enabled() {
+            let walk_count = tel.counter_value("tangle.walks");
+            let (_, walk_len_sum) = tel.histogram_totals("tangle.walk_len");
+            let phase_us = phases.finish();
+            let tangle_len = self.tangle.len() as u64;
+            let lost_publications = self.lost_publications;
+            tel.emit(|| {
+                Event::Round(RoundEvent {
+                    round,
+                    sampled: k as u64,
+                    published: published as u64,
+                    rejected,
+                    malicious_published: malicious_published as u64,
+                    lost_publications,
+                    tip_count: tips as u64,
+                    tangle_len,
+                    reference: reference_entries,
+                    walk_count,
+                    walk_len_sum,
+                    phase_us,
+                })
+            });
+        }
         RoundStats {
             round,
             sampled: k,
             published,
             malicious_published,
-            tips: self.tangle.tip_count(),
+            tips,
         }
     }
 

@@ -4,8 +4,10 @@ use fedavg::{FedAvg, FedAvgConfig};
 use feddata::FederatedDataset;
 use learning_tangle::metrics::{MetricPoint, MetricsLog};
 use learning_tangle::{SimConfig, Simulation};
+use lt_telemetry::{JsonlSink, Telemetry};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 use tinynn::Sequential;
 
 /// Whether to run the paper-scale or the laptop-scale configuration.
@@ -28,6 +30,11 @@ pub struct Opts {
     pub out: PathBuf,
     /// Optional round-count override.
     pub rounds: Option<u64>,
+    /// Structured-event JSONL output path (`--telemetry <path>`).
+    pub telemetry: Option<PathBuf>,
+    /// Record wall-clock span timings into the telemetry stream
+    /// (`--telemetry-timings`; makes the JSONL non-deterministic).
+    pub telemetry_timings: bool,
 }
 
 impl Opts {
@@ -38,22 +45,63 @@ impl Opts {
             seed: 42,
             out: PathBuf::from("results"),
             rounds: None,
+            telemetry: None,
+            telemetry_timings: false,
         };
-        for a in args {
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
             if a == "--paper" {
                 opts.scale = Scale::Paper;
+            } else if a == "--telemetry-timings" {
+                opts.telemetry_timings = true;
             } else if let Some(v) = a.strip_prefix("--seed=") {
                 opts.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
             } else if let Some(v) = a.strip_prefix("--out=") {
                 opts.out = PathBuf::from(v);
             } else if let Some(v) = a.strip_prefix("--rounds=") {
                 opts.rounds = Some(v.parse().map_err(|e| format!("bad --rounds: {e}"))?);
+            } else if let Some(v) = a.strip_prefix("--telemetry=") {
+                opts.telemetry = Some(PathBuf::from(v));
+            } else if a == "--telemetry" {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| "missing path after --telemetry".to_string())?;
+                opts.telemetry = Some(PathBuf::from(v));
             } else {
                 return Err(format!("unknown option {a}"));
             }
+            i += 1;
         }
         Ok(opts)
     }
+}
+
+/// The process-wide telemetry handle. Lives in a static (never dropped) so
+/// the JSONL sink stays valid for the whole run; the sink flushes every
+/// line, so the file is complete at exit regardless.
+static TELEMETRY: OnceLock<Telemetry> = OnceLock::new();
+
+/// Initialize the global telemetry handle from the CLI options. Call once,
+/// before any experiment runs; later calls are no-ops.
+pub fn init_telemetry(opts: &Opts) {
+    let handle = match &opts.telemetry {
+        None => Telemetry::disabled(),
+        Some(path) => {
+            let sink = JsonlSink::create(path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            eprintln!("  telemetry -> {}", path.display());
+            Telemetry::with_timings(sink, opts.telemetry_timings)
+        }
+    };
+    let _ = TELEMETRY.set(handle);
+}
+
+/// The global telemetry handle (disabled when `--telemetry` was not given
+/// or [`init_telemetry`] has not run).
+pub fn telemetry() -> Telemetry {
+    TELEMETRY.get().cloned().unwrap_or_default()
 }
 
 /// Run a learning-tangle simulation for `rounds`, evaluating the consensus
@@ -69,6 +117,7 @@ pub fn run_tangle<'a>(
     quiet: bool,
 ) -> (MetricsLog, Simulation<'a>) {
     let mut log = MetricsLog::new(label);
+    sim.set_telemetry(telemetry());
     for r in 1..=rounds {
         let stats = sim.round();
         if r % eval_every == 0 || r == rounds {

@@ -47,6 +47,7 @@ pub fn run(opts: &Opts) {
             seed: opts.seed ^ 0x90551,
         };
         let mut gl = GossipLearning::new(data.clone(), cfg, net, build);
+        gl.set_telemetry(crate::common::telemetry());
         let label = format!("gossip-loss{:.0}%", loss * 100.0);
         println!("\n--- {label} ---");
         let mut log = MetricsLog::new(&label);

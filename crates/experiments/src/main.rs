@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! lt-experiments <experiment> [--paper] [--seed=N] [--rounds=N] [--out=DIR]
+//!                [--telemetry <path.jsonl>] [--telemetry-timings]
 //!
 //! experiments:
 //!   table1   dataset characteristics and training parameters
@@ -40,7 +41,7 @@ use common::Opts;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: lt-experiments <table1|fig2|fig3|fig3a|fig3b|fig3c|fig4|table2|fig5|fig6|backdoor|gossipnet|linkability|ablate|all> [--paper] [--seed=N] [--rounds=N] [--out=DIR]");
+        eprintln!("usage: lt-experiments <table1|fig2|fig3|fig3a|fig3b|fig3c|fig4|table2|fig5|fig6|backdoor|gossipnet|linkability|ablate|all> [--paper] [--seed=N] [--rounds=N] [--out=DIR] [--telemetry <path.jsonl>] [--telemetry-timings]");
         std::process::exit(2);
     };
     let opts = match Opts::parse(&args[1..]) {
@@ -50,6 +51,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    common::init_telemetry(&opts);
     let t0 = std::time::Instant::now();
     match cmd.as_str() {
         "table1" => table1::run(&opts),

@@ -27,6 +27,7 @@ pub struct GossipLearning<'a> {
     published: u64,
     discarded: u64,
     rng: tinynn::rng::Rng,
+    telemetry: lt_telemetry::Telemetry,
 }
 
 impl<'a> GossipLearning<'a> {
@@ -60,7 +61,17 @@ impl<'a> GossipLearning<'a> {
             published: 0,
             discarded: 0,
             rng,
+            telemetry: lt_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Attach an observability handle to the learner *and* its network
+    /// (see [`Network::set_telemetry`]). Activations then record the
+    /// `gossip.published` / `gossip.discarded` counters and a
+    /// `wire.encode_us` span around message creation.
+    pub fn set_telemetry(&mut self, telemetry: lt_telemetry::Telemetry) {
+        self.network.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// The underlying network (replicas, stats, partitions).
@@ -94,14 +105,15 @@ impl<'a> GossipLearning<'a> {
         self.slot += 1;
         let slot = self.slot;
         let replica_len;
-        let publish = {
+        let (publish, new_loss, reference_loss) = {
             let replica = self.network.peer(peer).replica();
             replica_len = replica.len();
-            let ctx = RoundContext::build(
+            let ctx = RoundContext::build_observed(
                 replica,
                 &self.cfg,
                 slot,
                 derive(self.cfg.seed, slot ^ 0x0C7A_6000),
+                self.telemetry.clone(),
             );
             let mut node_rng = seeded(derive(self.cfg.seed, (slot << 16) ^ peer as u64));
             let out = node_step(
@@ -111,10 +123,12 @@ impl<'a> GossipLearning<'a> {
                 &self.cfg,
                 &mut node_rng,
             );
-            out.publish
+            (out.publish, out.new_loss, out.reference_loss)
         };
+        let mut local_parents: Vec<u32> = Vec::new();
         let did_publish = match publish {
             Some(p) => {
+                local_parents = p.parents.iter().map(|id| id.index() as u32).collect();
                 // Translate local parent ids into content ids for the wire.
                 let parents = p
                     .parents
@@ -124,17 +138,33 @@ impl<'a> GossipLearning<'a> {
                         self.network.peer(peer).content_id_of(*id)
                     })
                     .collect();
-                let msg =
-                    TxMessage::create(&p.params, parents, peer as u64, slot, self.network_pow());
+                let msg = {
+                    let _span = self.telemetry.span("wire.encode_us");
+                    TxMessage::create(&p.params, parents, peer as u64, slot, self.network_pow())
+                };
                 self.network.publish(peer, msg);
                 self.published += 1;
+                self.telemetry.count("gossip.published", 1);
                 true
             }
             None => {
                 self.discarded += 1;
+                self.telemetry.count("gossip.discarded", 1);
                 false
             }
         };
+        // One Step event per activation: `round` is the global activation
+        // slot, `parents` are replica-local tx indices (peer-relative).
+        self.telemetry.emit(|| {
+            lt_telemetry::Event::Step(lt_telemetry::StepEvent {
+                round: slot,
+                node: peer as u64,
+                accepted: did_publish,
+                parents: local_parents.clone(),
+                new_loss,
+                reference_loss,
+            })
+        });
         self.network.advance(self.ticks_per_activation);
         did_publish
     }

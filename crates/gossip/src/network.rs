@@ -99,6 +99,7 @@ pub struct Network {
     cfg: NetworkConfig,
     /// Statistics.
     pub stats: NetStats,
+    telemetry: lt_telemetry::Telemetry,
 }
 
 impl Network {
@@ -121,7 +122,16 @@ impl Network {
             groups: vec![0; n],
             cfg,
             stats: NetStats::default(),
+            telemetry: lt_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Attach an observability handle. The network then mirrors its
+    /// [`NetStats`] bookkeeping into the `gossip.delivered`,
+    /// `gossip.dropped`, `gossip.duplicates`, and `gossip.orphaned`
+    /// counters, incremented at exactly the same points.
+    pub fn set_telemetry(&mut self, telemetry: lt_telemetry::Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Current simulated time (ticks).
@@ -161,10 +171,12 @@ impl Network {
             }
             if self.groups[from] != self.groups[to] {
                 self.stats.dropped += 1;
+                self.telemetry.count("gossip.dropped", 1);
                 continue;
             }
             if self.cfg.loss > 0.0 && self.rng.random_range(0.0..1.0) < self.cfg.loss {
                 self.stats.dropped += 1;
+                self.telemetry.count("gossip.dropped", 1);
                 continue;
             }
             let delay = self.rng.random_range(
@@ -194,15 +206,22 @@ impl Network {
         let ev = self.events.remove(&key).expect("event recorded");
         debug_assert_eq!(ev.at, at);
         debug_assert_eq!(ev.seq, key);
+        let tel = self.telemetry.clone();
+        let _span = tel.span("gossip.deliver_us");
         self.now = self.now.max(at);
         self.stats.delivered += 1;
+        self.telemetry.count("gossip.delivered", 1);
         match self.peers[ev.to].receive(&ev.msg) {
             ReceiveOutcome::Accepted => self.forward(ev.to, ev.from, ev.msg),
             ReceiveOutcome::OrphanBuffered => {
                 self.stats.orphaned += 1;
+                self.telemetry.count("gossip.orphaned", 1);
                 self.forward(ev.to, ev.from, ev.msg);
             }
-            ReceiveOutcome::Duplicate => self.stats.duplicates += 1,
+            ReceiveOutcome::Duplicate => {
+                self.stats.duplicates += 1;
+                self.telemetry.count("gossip.duplicates", 1);
+            }
             ReceiveOutcome::InvalidPow | ReceiveOutcome::Corrupt => {}
         }
         true

@@ -167,6 +167,16 @@ impl TangleAnalysis {
         }
     }
 
+    /// Like [`Self::compute`], wrapped in a `tangle.analysis_us` span so
+    /// the weight/rating DP cost shows up in telemetry.
+    pub fn compute_observed<P>(tangle: &Tangle<P>, telemetry: &lt_telemetry::Telemetry) -> Self
+    where
+        P: Sync,
+    {
+        let _span = telemetry.span("tangle.analysis_us");
+        Self::compute(tangle)
+    }
+
     /// Monte-Carlo walk-hit confidence (paper §III-A): run `samples` random
     /// walks and count, for each transaction, the fraction of walks whose
     /// particle path passed through it. The genesis always has confidence 1.
@@ -208,6 +218,26 @@ impl TangleAnalysis {
                 },
             );
         hits.iter().map(|&h| h as f32 / samples as f32).collect()
+    }
+
+    /// Like [`Self::walk_confidence`], additionally recording the sampling
+    /// into `telemetry`: a `tangle.confidence_us` span around the whole
+    /// Monte-Carlo pass and a `tangle.confidence_walks` counter counting
+    /// the individual walks.
+    pub fn walk_confidence_observed<P>(
+        &self,
+        tangle: &Tangle<P>,
+        walk: &RandomWalk,
+        samples: usize,
+        seed: u64,
+        telemetry: &lt_telemetry::Telemetry,
+    ) -> Vec<f32>
+    where
+        P: Sync,
+    {
+        let _span = telemetry.span("tangle.confidence_us");
+        telemetry.count("tangle.confidence_walks", samples as u64);
+        self.walk_confidence(tangle, walk, samples, seed)
     }
 
     /// IOTA-style approval confidence: sample `samples` tips via the walk

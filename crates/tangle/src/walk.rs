@@ -125,6 +125,23 @@ impl RandomWalk {
             .last()
             .expect("walk path is never empty")
     }
+
+    /// Like [`Self::select_tip_with_weights`], additionally recording the
+    /// walk length (hops from the genesis) into the `tangle.walk_len`
+    /// histogram and the `tangle.walks` counter of `telemetry`.
+    pub fn select_tip_observed<P>(
+        &self,
+        tangle: &Tangle<P>,
+        weights: &[u32],
+        rng: &mut dyn rand::Rng,
+        telemetry: &lt_telemetry::Telemetry,
+    ) -> TxId {
+        let _span = telemetry.span("tangle.tip_selection_us");
+        let path = self.walk_path_with_weights(tangle, weights, rng);
+        telemetry.count("tangle.walks", 1);
+        telemetry.record("tangle.walk_len", (path.len() - 1) as u64);
+        *path.last().expect("walk path is never empty")
+    }
 }
 
 impl<P> TipSelector<P> for RandomWalk {
@@ -179,6 +196,23 @@ impl WindowedWalk {
             candidates[rng.random_range(0..candidates.len())]
         };
         self.walk_to_tip_from(tangle, weights, start, rng)
+    }
+
+    /// Like [`Self::select_tip_with_weights`], additionally recording the
+    /// walk into `telemetry` (counter `tangle.walks`; the windowed walk
+    /// does not retrace its path, so only the count is recorded, not a
+    /// length).
+    pub fn select_tip_observed<P>(
+        &self,
+        tangle: &Tangle<P>,
+        weights: &[u32],
+        depths: &[u32],
+        rng: &mut dyn rand::Rng,
+        telemetry: &lt_telemetry::Telemetry,
+    ) -> TxId {
+        let _span = telemetry.span("tangle.tip_selection_us");
+        telemetry.count("tangle.walks", 1);
+        self.select_tip_with_weights(tangle, weights, depths, rng)
     }
 
     /// Run the weighted walk from an explicit start particle.

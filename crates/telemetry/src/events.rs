@@ -1,0 +1,175 @@
+//! Structured simulator events, one JSON object per line on the wire.
+//!
+//! Each event is an externally tagged enum variant, so a JSONL line looks
+//! like `{"Round":{...}}` and a consumer can dispatch on the single key.
+//! All fields are plain values — no wall-clock timestamps — so that a
+//! run with span timings disabled emits **byte-identical** JSONL for a
+//! fixed seed (the deterministic-replay regression test relies on this).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One reference-model constituent: Algorithm 1 picks the transactions
+/// maximizing `confidence × rating`; this records the factors.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceEntry {
+    /// Transaction id within the snapshot.
+    pub tx: u32,
+    /// Monte-Carlo walk confidence at selection time.
+    pub confidence: f32,
+    /// Past-cone rating at selection time.
+    pub rating: u32,
+}
+
+/// One node's Algorithm 2 execution within a round.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StepEvent {
+    /// Round (or activation slot) index.
+    pub round: u64,
+    /// Node id.
+    pub node: u64,
+    /// Did the publish gate accept the trained model?
+    pub accepted: bool,
+    /// The approved parent tips (empty when rejected or lost).
+    pub parents: Vec<u32>,
+    /// Local validation loss of the freshly trained model.
+    pub new_loss: Option<f32>,
+    /// Local validation loss of the consensus reference.
+    pub reference_loss: Option<f32>,
+}
+
+/// End-of-round ledger health summary.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoundEvent {
+    /// Round index (1-based).
+    pub round: u64,
+    /// Nodes sampled this round.
+    pub sampled: u64,
+    /// Publications accepted into the ledger.
+    pub published: u64,
+    /// Steps whose publish gate rejected the trained model.
+    pub rejected: u64,
+    /// Publications issued by currently-malicious nodes.
+    pub malicious_published: u64,
+    /// Publications dropped by the lossy network so far (cumulative).
+    pub lost_publications: u64,
+    /// Tip count after the round barrier.
+    pub tip_count: u64,
+    /// Ledger size after the round barrier.
+    pub tangle_len: u64,
+    /// The reference set used this round (empty under per-node stale
+    /// views, where no single shared reference exists).
+    pub reference: Vec<ReferenceEntry>,
+    /// Tip-selection walks taken so far (cumulative).
+    pub walk_count: u64,
+    /// Total hops over those walks (cumulative).
+    pub walk_len_sum: u64,
+    /// Wall time per phase in microseconds; `None` unless span timings
+    /// are enabled (they are off by default to keep output deterministic).
+    pub phase_us: Option<BTreeMap<String, u64>>,
+}
+
+/// One publication committed by the asynchronous (round-free) simulator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AsyncPublishEvent {
+    /// Worker thread that processed the step.
+    pub worker: u64,
+    /// Node that published.
+    pub node: u64,
+    /// Ledger size right after the publication.
+    pub tangle_len: u64,
+    /// Size of the snapshot the node acted on.
+    pub snapshot_len: u64,
+}
+
+/// Every event the simulators emit.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A node-level Algorithm 2 outcome.
+    Step(StepEvent),
+    /// A round-level ledger summary.
+    Round(RoundEvent),
+    /// An asynchronous-simulator publication.
+    AsyncPublish(AsyncPublishEvent),
+}
+
+impl Event {
+    /// The round the event belongs to, when it has one.
+    pub fn round(&self) -> Option<u64> {
+        match self {
+            Event::Step(e) => Some(e.round),
+            Event::Round(e) => Some(e.round),
+            Event::AsyncPublish(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_event_roundtrips_through_json() {
+        let ev = Event::Round(RoundEvent {
+            round: 3,
+            sampled: 5,
+            published: 4,
+            rejected: 1,
+            malicious_published: 0,
+            lost_publications: 2,
+            tip_count: 6,
+            tangle_len: 40,
+            reference: vec![ReferenceEntry {
+                tx: 17,
+                confidence: 0.75,
+                rating: 12,
+            }],
+            walk_count: 90,
+            walk_len_sum: 410,
+            phase_us: None,
+        });
+        let line = serde_json::to_string(&ev).unwrap();
+        assert!(line.starts_with("{\"Round\":{"));
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn step_event_roundtrips_through_json() {
+        let ev = Event::Step(StepEvent {
+            round: 1,
+            node: 9,
+            accepted: true,
+            parents: vec![3, 3],
+            new_loss: Some(0.5),
+            reference_loss: Some(0.9),
+        });
+        let back: Event = serde_json::from_str(&serde_json::to_string(&ev).unwrap()).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn phase_map_serializes_sorted() {
+        let mut phase_us = BTreeMap::new();
+        phase_us.insert("train".to_string(), 100u64);
+        phase_us.insert("analysis".to_string(), 50u64);
+        let ev = RoundEvent {
+            round: 1,
+            sampled: 0,
+            published: 0,
+            rejected: 0,
+            malicious_published: 0,
+            lost_publications: 0,
+            tip_count: 1,
+            tangle_len: 1,
+            reference: vec![],
+            walk_count: 0,
+            walk_len_sum: 0,
+            phase_us: Some(phase_us),
+        };
+        let line = serde_json::to_string(&ev).unwrap();
+        let analysis = line.find("analysis").unwrap();
+        let train = line.find("train").unwrap();
+        assert!(analysis < train, "BTreeMap keys must serialize sorted");
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!`/`Criterion` API the
+//! bench targets use, with a simple measurement loop: each benchmark is
+//! warmed up briefly, then timed over `sample_size` samples, and the
+//! mean/min per-iteration wall time is printed. No statistics, plots, or
+//! baselines — enough to compare hot paths before/after a change.
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration inputs are batched (accepted, ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Drives one benchmark's measurement.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample mean iteration times.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and iteration-count calibration: aim for ~5ms per sample.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(25));
+        let iters = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.times.push(start.elapsed() / iters);
+        }
+    }
+
+    /// Time `routine` over fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(25));
+        let iters = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.times.push(start.elapsed() / iters);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        times: Vec::new(),
+    };
+    f(&mut b);
+    if b.times.is_empty() {
+        println!("{label:<50} (no measurement)");
+        return;
+    }
+    let min = b.times.iter().min().copied().unwrap_or_default();
+    let total: Duration = b.times.iter().sum();
+    let mean = total / b.times.len() as u32;
+    println!(
+        "{label:<50} mean {:>12}   min {:>12}   ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(min),
+        b.times.len()
+    );
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        if self.criterion.should_run(&label) {
+            run_one(&label, self.sample_size, &mut f);
+        }
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes a substring filter; other
+        // harness flags (--bench, --save-baseline, ...) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            default_sample_size: 20,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    fn should_run(&self, label: &str) -> bool {
+        match &self.filter {
+            Some(f) => label.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Begin a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into();
+        if self.should_run(&label) {
+            run_one(&label, self.default_sample_size, &mut f);
+        }
+        self
+    }
+}
+
+/// Re-export matching criterion's convenience.
+pub use std::hint::black_box;
+
+/// Define a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+            filter: None,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            default_sample_size: 2,
+            filter: Some("match_me".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `crossbeam`: the `channel` module backed by
+//! `std::sync::mpsc`. The workspace only uses multi-producer /
+//! single-consumer unbounded channels, which std covers exactly.
+
+pub mod channel {
+    //! Unbounded MPSC channels with crossbeam's naming.
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_then_drain() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(1).unwrap());
+            s.spawn(move || tx2.send(2).unwrap());
+        });
+        let mut got: Vec<u32> = rx.try_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,492 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range and
+//! `any::<T>()` strategies, tuple strategies, `prop::collection::vec`,
+//! `prop_map`/`prop_flat_map`, and the `prop_assert*`/`prop_assume!`
+//! macros. Cases are sampled deterministically from a seed derived from
+//! the test name, so failures reproduce across runs. There is no
+//! shrinking: a failing case reports its inputs via the assertion
+//! message instead.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic per-(test, case) generator.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(SmallRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    fn rng(&mut self) -> &mut SmallRng {
+        &mut self.0
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the case out; it is not counted.
+    Reject(String),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: String) -> Self {
+        TestCaseError::Reject(msg)
+    }
+}
+
+/// Per-block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A reusable generator of values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<F, T>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Generate a value, then a dependent strategy from it.
+    fn prop_flat_map<F, S>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMapStrategy { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F, T> Strategy for MapStrategy<S, F>
+where
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F, S2: Strategy> Strategy for FlatMapStrategy<S, F>
+where
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Sample an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.rng().random()
+            }
+        }
+    )*};
+}
+impl_arbitrary_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// Strategy for any value of `T` (see [`any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Collection size specification: exact, `lo..hi`, or `lo..=hi`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeRange, Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Strategy for `Vec<T>` with element strategy `element` and a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng
+                .rng()
+                .random_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option<T>` strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Strategy for `Option<T>`: `None` with probability 1/4, otherwise
+    /// `Some` of a value drawn from `inner` (real proptest defaults to
+    /// 3/4 `Some` as well).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.rng().random_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection::vec(...)`).
+    pub use super::{collection, option};
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Run one proptest-style test function body over many sampled cases.
+///
+/// Used by the [`proptest!`] macro; public so the macro expansion can
+/// reach it from other crates.
+pub fn run_cases<F>(test_name: &str, config: ProptestConfig, mut case_fn: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = (config.cases as u64).saturating_mul(20).max(100);
+    while accepted < config.cases {
+        if attempts >= max_attempts {
+            panic!(
+                "{test_name}: too many rejected cases ({accepted}/{} accepted after {attempts} attempts)",
+                config.cases
+            );
+        }
+        let mut rng = TestRng::for_case(test_name, attempts);
+        attempts += 1;
+        match case_fn(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case {} failed: {msg}", attempts - 1);
+            }
+        }
+    }
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn name(arg in
+/// strategy, ...) { ... }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each test fn in a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), $cfg, |__proptest_rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);)*
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Assert inside a proptest body (fails the case, reporting the inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left
+            )));
+        }
+    }};
+}
+
+/// Filter out a case without failing (the case is re-drawn).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn sampling_is_deterministic_per_case() {
+        let s = crate::collection::vec(0u32..100, 3..10);
+        let mut r1 = TestRng::for_case("x", 4);
+        let mut r2 = TestRng::for_case("x", 4);
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_size_range(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (1usize..4, 1usize..4),
+            x in (0u32..10).prop_map(|v| v * 2),
+        ) {
+            prop_assume!(pair.0 + pair.1 > 2);
+            prop_assert!(x % 2 == 0);
+            prop_assert_ne!(pair.0, 0);
+        }
+
+        #[test]
+        fn flat_map_dependent_sizes(v in (1usize..6).prop_flat_map(|n| prop::collection::vec(0f32..1.0, n)).prop_map(|v| v.len())) {
+            prop_assert!((1..6).contains(&v));
+        }
+    }
+}

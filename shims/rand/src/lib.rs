@@ -1,0 +1,293 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace ships a
+//! small API-compatible subset of `rand` covering exactly what the
+//! reproduction uses: an object-safe [`Rng`] core trait, the [`RngExt`]
+//! extension trait providing `random`/`random_range`, [`SeedableRng`], and
+//! [`rngs::SmallRng`] (xoshiro256++, seeded through SplitMix64 like the
+//! real `SmallRng::seed_from_u64`).
+//!
+//! The streams are deterministic per seed, which is exactly what the
+//! simulators rely on; they do not match upstream `rand` bit-for-bit.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Object-safe random-number source. Everything else is derived from
+/// uniform `u64` output via [`RngExt`].
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Deterministically build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an `Rng` (the subset of the
+/// `Standard`/`StandardUniform` distribution the workspace uses).
+pub trait RandomValue {
+    /// Draw one uniformly random value.
+    fn random_from(rng: &mut (impl Rng + ?Sized)) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl RandomValue for $t {
+            fn random_from(rng: &mut (impl Rng + ?Sized)) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RandomValue for bool {
+    fn random_from(rng: &mut (impl Rng + ?Sized)) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl RandomValue for f64 {
+    fn random_from(rng: &mut (impl Rng + ?Sized)) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl RandomValue for f32 {
+    fn random_from(rng: &mut (impl Rng + ?Sized)) -> Self {
+        // 24 uniform bits in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`RngExt::random_range`]. The element type is a
+/// trait parameter (not an associated type), and the impls below are
+/// blanket impls over [`SampleUniform`] — both mirror real `rand` so
+/// that unsuffixed literals like `-0.2..0.2` unify with the expected
+/// output type during inference.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> T;
+}
+
+/// Element types with a uniform range sampler.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw in `[lo, hi)` (`inclusive == false`) or `[lo, hi]`.
+    fn sample_range(lo: Self, hi: Self, inclusive: bool, rng: &mut (impl Rng + ?Sized)) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> T {
+        T::sample_range(*self.start(), *self.end(), true, rng)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: $t, hi: $t, inclusive: bool, rng: &mut (impl Rng + ?Sized)) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "empty random_range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full 64-bit range.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(uniform_u64_below(rng, span) as $t)
+                } else {
+                    assert!(lo < hi, "empty random_range");
+                    let span = (hi as u64).wrapping_sub(lo as u64);
+                    lo.wrapping_add(uniform_u64_below(rng, span) as $t)
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: $t, hi: $t, inclusive: bool, rng: &mut (impl Rng + ?Sized)) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "empty random_range");
+                } else {
+                    assert!(lo < hi, "empty random_range");
+                }
+                let unit = <$t as RandomValue>::random_from(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Unbiased uniform draw in `[0, bound)` (Lemire-style rejection on the
+/// high 64 bits of a 128-bit product).
+fn uniform_u64_below(rng: &mut (impl Rng + ?Sized), bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let lo = m as u64;
+        if lo >= bound && lo < bound.wrapping_neg() {
+            // fast path: cannot be biased
+            return (m >> 64) as u64;
+        }
+        let threshold = bound.wrapping_neg() % bound;
+        if lo >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`Rng`]
+/// (including `dyn Rng`).
+pub trait RngExt: Rng {
+    /// A uniformly random value of type `T`.
+    fn random<T: RandomValue>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// A uniformly random value from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast generator: xoshiro256++ with SplitMix64 seeding.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(0u64..=5);
+            assert!(w <= 5);
+            let f = rng.random_range(-1.5f32..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let d = rng.random_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let f: f32 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = rng.random();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn works_through_dyn_rng() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let dyn_rng: &mut dyn Rng = &mut rng;
+        let v = dyn_rng.random_range(0..10usize);
+        assert!(v < 10);
+        let _: u64 = dyn_rng.random();
+    }
+}

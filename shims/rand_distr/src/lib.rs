@@ -1,0 +1,239 @@
+//! Offline stand-in for the `rand_distr` crate: the `Distribution` trait
+//! plus the three distributions the workspace samples from — `Normal`
+//! (Box–Muller), `Uniform`, and `Gamma` (Marsaglia–Tsang).
+
+use rand::{Rng, RngExt};
+
+/// Error type for invalid distribution parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can produce samples of `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Float scalar abstraction so `Normal`/`Uniform` work for f32 and f64.
+pub trait Float: Copy + PartialOrd {
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn is_finite_v(self) -> bool;
+}
+
+impl Float for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn is_finite_v(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn is_finite_v(self) -> bool {
+        self.is_finite()
+    }
+}
+
+/// Normal (Gaussian) distribution, sampled via Box–Muller.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// A normal distribution with the given mean and standard deviation.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, Error> {
+        if !mean.is_finite_v() || !std_dev.is_finite_v() || std_dev.to_f64() < 0.0 {
+            return Err(Error("invalid normal parameters"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+fn standard_normal(rng: &mut (impl Rng + ?Sized)) -> f64 {
+    // Box–Muller; u1 kept away from zero so the log stays finite.
+    let u1: f64 = loop {
+        let u = rng.random::<f64>();
+        if u > 1e-300 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        let z = standard_normal(rng);
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+/// Uniform distribution over a closed interval.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<F: Float> {
+    low: F,
+    high: F,
+}
+
+impl<F: Float> Uniform<F> {
+    /// Uniform over `[low, high]`.
+    pub fn new_inclusive(low: F, high: F) -> Result<Self, Error> {
+        // NaN bounds compare as incomparable and are rejected too.
+        let ordered = matches!(
+            low.to_f64().partial_cmp(&high.to_f64()),
+            Some(core::cmp::Ordering::Less | core::cmp::Ordering::Equal)
+        );
+        if !ordered {
+            return Err(Error("uniform low > high"));
+        }
+        Ok(Self { low, high })
+    }
+
+    /// Uniform over `[low, high)` (identical sampling here).
+    pub fn new(low: F, high: F) -> Result<Self, Error> {
+        let ordered = matches!(
+            low.to_f64().partial_cmp(&high.to_f64()),
+            Some(core::cmp::Ordering::Less)
+        );
+        if !ordered {
+            return Err(Error("uniform low >= high"));
+        }
+        Ok(Self { low, high })
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        let u: f64 = rng.random();
+        let (lo, hi) = (self.low.to_f64(), self.high.to_f64());
+        F::from_f64(lo + u * (hi - lo))
+    }
+}
+
+/// Gamma distribution with shape `k` and scale `θ`, via Marsaglia–Tsang
+/// squeeze (with the standard `U^{1/k}` boost for `k < 1`).
+#[derive(Clone, Copy, Debug)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// A gamma distribution with the given shape and scale.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, Error> {
+        // Positivity check that also rejects NaN parameters.
+        let positive = |v: f64| matches!(v.partial_cmp(&0.0), Some(core::cmp::Ordering::Greater));
+        if !positive(shape) || !positive(scale) {
+            return Err(Error("invalid gamma parameters"));
+        }
+        Ok(Self { shape, scale })
+    }
+}
+
+fn gamma_sample(rng: &mut (impl Rng + ?Sized), shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(k) = Gamma(k+1) · U^{1/k}
+        let u: f64 = loop {
+            let u = rng.random::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        return gamma_sample(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random();
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v;
+        }
+        if u > 0.0 && u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        gamma_sample(rng, self.shape) * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let dist = Normal::new(2.0f64, 3.0).unwrap();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let dist = Uniform::new_inclusive(-0.5f32, 0.5).unwrap();
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape_times_scale() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for &(shape, scale) in &[(0.5f64, 1.0f64), (2.0, 1.5), (9.0, 0.5)] {
+            let dist = Gamma::new(shape, scale).unwrap();
+            let n = 20_000;
+            let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+            let expect = shape * scale;
+            assert!(
+                (mean - expect).abs() < 0.15 * expect.max(0.5),
+                "shape {shape} scale {scale}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Uniform::new(1.0f32, 1.0).is_err());
+        assert!(Gamma::new(0.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Presents the `par_iter`/`into_par_iter`/`par_chunks_mut`/`join` API the
+//! workspace uses, executed **sequentially**. Every call site already
+//! derives per-item RNG seeds, so sequential execution produces the exact
+//! same results a parallel pool would — it is simply not parallel. This
+//! keeps the simulators bit-deterministic (a property the replay tests
+//! assert) until a real work-stealing pool can be vendored.
+
+pub mod prelude {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceExt,
+        ParallelSliceMutExt,
+    };
+}
+
+/// Sequential adapter standing in for rayon's parallel iterators.
+pub struct ParallelIterator<I>(I);
+
+impl<I: Iterator> ParallelIterator<I> {
+    /// Map each item.
+    pub fn map<F, R>(self, f: F) -> ParallelIterator<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParallelIterator(self.0.map(f))
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParallelIterator<std::iter::Enumerate<I>> {
+        ParallelIterator(self.0.enumerate())
+    }
+
+    /// Zip with another parallel iterator.
+    pub fn zip<J>(self, other: ParallelIterator<J>) -> ParallelIterator<std::iter::Zip<I, J>>
+    where
+        J: Iterator,
+    {
+        ParallelIterator(self.0.zip(other.0))
+    }
+
+    /// Filter items.
+    pub fn filter<F>(self, f: F) -> ParallelIterator<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParallelIterator(self.0.filter(f))
+    }
+
+    /// Consume every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f)
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+
+    /// Rayon-style reduce: fold from a fresh identity.
+    pub fn reduce<T, ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        I: Iterator<Item = T>,
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Sum the items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+/// `into_par_iter` for owned collections and ranges.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Convert into a (sequential) parallel iterator.
+    fn into_par_iter(self) -> ParallelIterator<Self::IntoIter> {
+        ParallelIterator(self.into_iter())
+    }
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {}
+
+/// `par_iter` for shared slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: 'a;
+    /// The underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate by reference.
+    fn par_iter(&'a self) -> ParallelIterator<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParallelIterator<Self::Iter> {
+        ParallelIterator(self.iter())
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParallelIterator<Self::Iter> {
+        ParallelIterator(self.iter())
+    }
+}
+
+/// `par_chunks` for shared slices.
+pub trait ParallelSliceExt<T> {
+    /// Chunked shared iteration.
+    fn par_chunks(&self, size: usize) -> ParallelIterator<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSliceExt<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParallelIterator<std::slice::Chunks<'_, T>> {
+        ParallelIterator(self.chunks(size))
+    }
+}
+
+/// `par_chunks_mut` for mutable slices.
+pub trait ParallelSliceMutExt<T> {
+    /// Chunked mutable iteration.
+    fn par_chunks_mut(&mut self, size: usize) -> ParallelIterator<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMutExt<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParallelIterator<std::slice::ChunksMut<'_, T>> {
+        ParallelIterator(self.chunks_mut(size))
+    }
+}
+
+/// Run both closures (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_serial() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn chunks_mut_zip_enumerate() {
+        let mut a = vec![0u32; 6];
+        let mut b = vec![0u32; 6];
+        a.par_chunks_mut(2)
+            .zip(b.par_chunks_mut(2))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                ca[0] = i as u32;
+                cb[0] = 10 + i as u32;
+            });
+        assert_eq!(a, vec![0, 0, 1, 0, 2, 0]);
+        assert_eq!(b, vec![10, 0, 11, 0, 12, 0]);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let total =
+            (0usize..10)
+                .into_par_iter()
+                .map(|i| vec![i])
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                });
+        assert_eq!(total, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

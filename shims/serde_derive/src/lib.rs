@@ -1,0 +1,466 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! `syn`/`quote` are unavailable offline, so this crate parses the derive
+//! input token stream by hand. It supports exactly the shapes this
+//! workspace derives on: structs with named fields, tuple structs, unit
+//! structs, and enums whose variants are unit, struct-like, or tuple —
+//! including simple type generics (`struct Tangle<P>`), which receive
+//! `P: serde::Serialize` / `P: serde::Deserialize` bounds. Field
+//! attributes (`#[serde(...)]`) are not supported and nothing in the
+//! workspace uses them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+/// Cursor over a token list.
+struct Cursor {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    /// Skip any `#[...]` attributes.
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            // the bracketed attribute body
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skip a `pub` / `pub(crate)` visibility marker.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, context: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier ({context}), got {other:?}"),
+        }
+    }
+}
+
+fn punct_char(t: &TokenTree) -> Option<char> {
+    match t {
+        TokenTree::Punct(p) => Some(p.as_char()),
+        _ => None,
+    }
+}
+
+/// Parse the type-parameter names out of a generic parameter list,
+/// starting just after the opening `<`. Lifetimes and bounds are skipped;
+/// only type-parameter idents are recorded.
+fn parse_generics(c: &mut Cursor) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while depth > 0 {
+        let Some(t) = c.next() else {
+            panic!("serde_derive: unterminated generic parameter list");
+        };
+        match punct_char(&t) {
+            Some('<') => {
+                depth += 1;
+                at_param_start = false;
+            }
+            Some('>') => {
+                depth -= 1;
+            }
+            Some(',') if depth == 1 => {
+                at_param_start = true;
+            }
+            Some('\'') => {
+                // lifetime marker; consume its ident without recording
+                c.next();
+                at_param_start = false;
+            }
+            _ => {
+                if at_param_start && depth == 1 {
+                    if let TokenTree::Ident(id) = &t {
+                        let s = id.to_string();
+                        if s != "const" {
+                            params.push(s);
+                        }
+                    }
+                    at_param_start = false;
+                }
+            }
+        }
+    }
+    params
+}
+
+/// Parse named fields from the token stream inside `{ ... }`.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        fields.push(c.expect_ident("field name"));
+        match c.next() {
+            Some(t) if punct_char(&t) == Some(':') => {}
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        // skip the type, tracking angle depth so generic commas don't split
+        let mut depth = 0i32;
+        loop {
+            match c.peek() {
+                None => break,
+                Some(t) => match punct_char(t) {
+                    Some('<') => {
+                        depth += 1;
+                        c.next();
+                    }
+                    Some('>') => {
+                        depth -= 1;
+                        c.next();
+                    }
+                    Some(',') if depth == 0 => {
+                        c.next();
+                        break;
+                    }
+                    _ => {
+                        c.next();
+                    }
+                },
+            }
+        }
+    }
+    fields
+}
+
+/// Count tuple fields in the token stream inside `( ... )`.
+fn parse_tuple_arity(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut arity = 0usize;
+    let mut depth = 0i32;
+    let mut segment_nonempty = false;
+    while let Some(t) = c.next() {
+        match punct_char(&t) {
+            Some('<') => {
+                depth += 1;
+                segment_nonempty = true;
+            }
+            Some('>') => depth -= 1,
+            Some(',') if depth == 0 => {
+                if segment_nonempty {
+                    arity += 1;
+                }
+                segment_nonempty = false;
+            }
+            _ => segment_nonempty = true,
+        }
+    }
+    if segment_nonempty {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_arity(g.stream());
+                c.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if matches!(c.peek().and_then(punct_char), Some(',')) {
+            c.next();
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let keyword = c.expect_ident("struct/enum keyword");
+    let name = c.expect_ident("type name");
+    let generics = if matches!(c.peek().and_then(punct_char), Some('<')) {
+        c.next();
+        parse_generics(&mut c)
+    } else {
+        Vec::new()
+    };
+    let body = match (keyword.as_str(), c.peek()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::TupleStruct(parse_tuple_arity(g.stream()))
+        }
+        ("struct", _) => Body::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum(parse_variants(g.stream()))
+        }
+        (kw, t) => panic!("serde_derive: unsupported item `{kw}` with body {t:?}"),
+    };
+    Input {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    let name = &input.name;
+    if input.generics.is_empty() {
+        format!("impl serde::{trait_name} for {name}")
+    } else {
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::{trait_name}"))
+            .collect();
+        let plain = input.generics.join(", ");
+        format!(
+            "impl<{}> serde::{trait_name} for {name}<{plain}>",
+            bounded.join(", ")
+        )
+    }
+}
+
+fn named_fields_to_value(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("(String::from(\"{f}\"), serde::Serialize::to_value(&{access_prefix}{f}))")
+        })
+        .collect();
+    format!("serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn named_fields_from_map(fields: &[String], context: &str) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: serde::field(m, \"{f}\", \"{context}\")?,"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Generate the `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let header = impl_header(&input, "Serialize");
+    let body = match &input.body {
+        Body::NamedStruct(fields) => named_fields_to_value(fields, "self."),
+        Body::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "Self::{vname} => serde::Value::Str(String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let inner = named_fields_to_value(fields, "");
+                            format!(
+                                "Self::{vname} {{ {binds} }} => serde::Value::Map(vec![(String::from(\"{vname}\"), {inner})]),"
+                            )
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "Self::{vname}(f0) => serde::Value::Map(vec![(String::from(\"{vname}\"), serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "Self::{vname}({}) => serde::Value::Map(vec![(String::from(\"{vname}\"), serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "#[automatically_derived] #[allow(unused_variables, clippy::all)] \
+         {header} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Generate the `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let header = impl_header(&input, "Deserialize");
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let build = named_fields_from_map(fields, name);
+            format!(
+                "let m = v.as_map().ok_or_else(|| serde::DeError::expected(\"map\", \"{name}\", v))?; \
+                 Ok(Self {{ {build} }})"
+            )
+        }
+        Body::TupleStruct(1) => "Ok(Self(serde::Deserialize::from_value(v)?))".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ serde::Value::Seq(items) if items.len() == {n} => Ok(Self({})), \
+                 _ => Err(serde::DeError::expected(\"{n}-element sequence\", \"{name}\", v)) }}",
+                items.join(", ")
+            )
+        }
+        Body::UnitStruct => "Ok(Self)".to_string(),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok(Self::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Named(fields) => {
+                            let context = format!("{name}::{vname}");
+                            let build = named_fields_from_map(fields, &context);
+                            Some(format!(
+                                "\"{vname}\" => {{ let m = inner.as_map().ok_or_else(|| serde::DeError::expected(\"map\", \"{context}\", inner))?; Ok(Self::{vname} {{ {build} }}) }}"
+                            ))
+                        }
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok(Self::{vname}(serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match inner {{ serde::Value::Seq(items) if items.len() == {n} => Ok(Self::{vname}({})), _ => Err(serde::DeError::expected(\"{n}-element sequence\", \"{name}::{vname}\", inner)) }},",
+                                items.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                   serde::Value::Str(s) => match s.as_str() {{ \
+                     {} \
+                     other => Err(serde::DeError(format!(\"unknown variant `{{other}}` of {name}\"))), \
+                   }}, \
+                   serde::Value::Map(entries) if entries.len() == 1 => {{ \
+                     let (tag, inner) = &entries[0]; \
+                     match tag.as_str() {{ \
+                       {} \
+                       other => Err(serde::DeError(format!(\"unknown variant `{{other}}` of {name}\"))), \
+                     }} \
+                   }}, \
+                   _ => Err(serde::DeError::expected(\"variant\", \"{name}\", v)), \
+                 }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived] #[allow(unused_variables, clippy::all)] \
+         {header} {{ fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }} }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}

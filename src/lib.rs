@@ -16,6 +16,7 @@
 //! | [`baseline`] | `fedavg` | the centralized federated-averaging baseline |
 //! | [`learning`] | `learning-tangle` | the paper's node algorithms, attacks, and simulators |
 //! | [`gossip`] | `tangle-gossip` | simulated P2P network: per-peer replicas, partitions, anti-entropy |
+//! | [`telemetry`] | `lt-telemetry` | counters, histograms, span timers, structured JSONL event sinks |
 //!
 //! ## Quickstart
 //!
@@ -57,3 +58,7 @@ pub use learning_tangle as learning;
 /// The simulated P2P gossip network (per-peer replicas, partitions,
 /// anti-entropy — the paper's §VI distributed-implementation outlook).
 pub use tangle_gossip as gossip;
+
+/// Observability: counters, histograms, span timers, and structured
+/// JSONL event sinks threaded through the simulators.
+pub use lt_telemetry as telemetry;
