@@ -187,6 +187,56 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fault_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_overhead");
+    g.sample_size(20);
+    // A faultless FaultPlan must add zero cost to Network::step: the fault
+    // RNG is only consulted when a perturbation probability is non-zero,
+    // so the benign-plan drain must match the no-plan drain.
+    use tangle_gossip::{FaultPlan, Latency, Network, NetworkConfig, Topology, TxMessage};
+    let cfg = NetworkConfig {
+        topology: Topology::RandomRegular { degree: 4 },
+        latency: Latency { min: 1, max: 4 },
+        loss: 0.0,
+        pow_difficulty: 0,
+        seed: 11,
+        ..NetworkConfig::default()
+    };
+    let genesis = TxMessage::create(&ParamVec(vec![0.0]), vec![], u64::MAX, 0, 0);
+    let drain = |mut net: Network| {
+        for i in 0..40u64 {
+            let origin = (i % 16) as usize;
+            let tip = net.peer(origin).replica().tips()[0];
+            let cid = net.peer(origin).content_id_of(tip);
+            net.publish(
+                origin,
+                TxMessage::create(&ParamVec(vec![i as f32; 64]), vec![cid], i, 0, 0),
+            );
+            net.run_to_quiescence();
+        }
+        black_box(net.stats.delivered)
+    };
+    g.bench_function("network_drain_no_plan", |b| {
+        b.iter_batched(
+            || Network::new(16, &genesis, cfg),
+            drain,
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("network_drain_benign_plan", |b| {
+        b.iter_batched(
+            || {
+                let mut net = Network::new(16, &genesis, cfg);
+                net.install_faults(FaultPlan::default());
+                net
+            },
+            drain,
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_pow(c: &mut Criterion) {
     let mut g = c.benchmark_group("proof_of_work");
     g.sample_size(20);
@@ -227,6 +277,7 @@ criterion_group!(
     bench_param_aggregation,
     bench_wire_codec,
     bench_telemetry_overhead,
+    bench_fault_overhead,
     bench_training,
     bench_pow,
     bench_dataset_generation

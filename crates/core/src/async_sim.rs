@@ -42,6 +42,22 @@ pub struct AsyncRun {
     pub events: Vec<PublishEvent>,
     /// Steps whose publish gate rejected the trained model.
     pub discarded: usize,
+    /// Steps whose finished work was thrown away because the worker was
+    /// killed by a [`WorkerFaultPlan`] (the crash-mid-step analogue of
+    /// the gossip network's peer churn).
+    pub killed: usize,
+}
+
+/// Deterministic worker-fault schedule for the asynchronous simulator —
+/// the [`run_async`] mirror of the gossip network's crash/restart churn.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerFaultPlan {
+    /// `(worker, local step)` pairs: the worker dies right as it finishes
+    /// that local step, so the completed training result is discarded
+    /// (counted in [`AsyncRun::killed`]), and the worker respawns with a
+    /// fresh RNG stream. Local steps start at 1 and keep counting across
+    /// respawns, so a pair can fire at most once.
+    pub kills: Vec<(usize, u64)>,
 }
 
 /// Run `workers` concurrent participants until the ledger holds at least
@@ -78,12 +94,39 @@ pub fn run_async_observed(
     target_transactions: usize,
     telemetry: lt_telemetry::Telemetry,
 ) -> AsyncRun {
+    run_async_faulty(
+        nodes,
+        cfg,
+        build,
+        workers,
+        target_transactions,
+        telemetry,
+        &WorkerFaultPlan::default(),
+    )
+}
+
+/// Like [`run_async_observed`], with scheduled worker kills: a killed
+/// worker's completed step is discarded as lost work (`fault.worker_kill`,
+/// [`AsyncRun::killed`]) and the worker immediately respawns on a fresh,
+/// deterministically derived RNG stream (`fault.worker_respawn`). An
+/// empty plan behaves exactly like [`run_async_observed`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_async_faulty(
+    nodes: &[Node],
+    cfg: &SimConfig,
+    build: impl Fn() -> Sequential + Sync,
+    workers: usize,
+    target_transactions: usize,
+    telemetry: lt_telemetry::Telemetry,
+    faults: &WorkerFaultPlan,
+) -> AsyncRun {
     assert!(workers >= 1, "need at least one worker");
     let genesis = Arc::new(ParamVec::from_model(&build()));
     let ledger = RwLock::new(Tangle::new(genesis));
     let done = AtomicBool::new(false);
     let (tx_events, rx_events) = channel::unbounded::<PublishEvent>();
     let (tx_disc, rx_disc) = channel::unbounded::<()>();
+    let (tx_kill, rx_kill) = channel::unbounded::<()>();
 
     std::thread::scope(|scope| {
         for w in 0..workers {
@@ -92,9 +135,11 @@ pub fn run_async_observed(
             let build = &build;
             let tx_events = tx_events.clone();
             let tx_disc = tx_disc.clone();
+            let tx_kill = tx_kill.clone();
             let telemetry = telemetry.clone();
             scope.spawn(move || {
                 let mut rng = seeded(derive(cfg.seed, 0xA11C ^ w as u64));
+                let mut generation = 0u64;
                 let mut step = 0u64;
                 while !done.load(Ordering::Relaxed) {
                     step += 1;
@@ -115,6 +160,31 @@ pub fn run_async_observed(
                         ((w as u64) << 48) ^ (step << 8) ^ ni as u64,
                     ));
                     let out = node_step(&nodes[ni], &ctx, build, cfg, &mut node_rng);
+                    if faults.kills.iter().any(|&(kw, ks)| kw == w && ks == step) {
+                        // The worker dies with its finished step in hand:
+                        // the work is lost, the worker respawns on a new
+                        // RNG stream.
+                        let _ = tx_kill.send(());
+                        telemetry.count("fault.worker_kill", 1);
+                        telemetry.emit(|| {
+                            lt_telemetry::Event::Fault(lt_telemetry::FaultEvent {
+                                at: step,
+                                peer: w as u64,
+                                kind: "worker_kill".to_string(),
+                            })
+                        });
+                        generation += 1;
+                        rng = seeded(derive(cfg.seed, 0xA11C ^ w as u64 ^ (generation << 32)));
+                        telemetry.count("fault.worker_respawn", 1);
+                        telemetry.emit(|| {
+                            lt_telemetry::Event::Fault(lt_telemetry::FaultEvent {
+                                at: step,
+                                peer: w as u64,
+                                kind: "worker_respawn".to_string(),
+                            })
+                        });
+                        continue;
+                    }
                     match out.publish {
                         Some(p) => {
                             let mut guard = ledger.write();
@@ -154,14 +224,17 @@ pub fn run_async_observed(
         }
         drop(tx_events);
         drop(tx_disc);
+        drop(tx_kill);
     });
 
     let events: Vec<PublishEvent> = rx_events.try_iter().collect();
     let discarded = rx_disc.try_iter().count();
+    let killed = rx_kill.try_iter().count();
     AsyncRun {
         tangle: ledger.into_inner(),
         events,
         discarded,
+        killed,
     }
 }
 
@@ -239,5 +312,78 @@ mod tests {
         let run = run_async(&ns, &cfg(), build, 2, 10);
         // genesis + events = ledger size (no other writer exists)
         assert_eq!(run.events.len() + 1, run.tangle.len());
+    }
+
+    #[test]
+    fn worker_kills_discard_finished_work_deterministically() {
+        let ns = nodes();
+        let plan = WorkerFaultPlan {
+            kills: vec![(0, 2), (0, 5)],
+        };
+        let run = |plan: &WorkerFaultPlan| {
+            run_async_faulty(
+                &ns,
+                &cfg(),
+                build,
+                1,
+                10,
+                lt_telemetry::Telemetry::disabled(),
+                plan,
+            )
+        };
+        let a = run(&plan);
+        assert_eq!(a.killed, 2, "both scheduled kills must fire");
+        // killed steps published nothing, so the invariant still holds
+        assert_eq!(a.events.len() + 1, a.tangle.len());
+        assert!(a.tangle.len() >= 10);
+        // same plan, same trace
+        let b = run(&plan);
+        assert_eq!(a.tangle.len(), b.tangle.len());
+        assert_eq!(a.killed, b.killed);
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.node, y.node);
+            assert_eq!(x.tangle_len, y.tangle_len);
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_unfaulted_run() {
+        let ns = nodes();
+        let plain = run_async(&ns, &cfg(), build, 1, 10);
+        let faulty = run_async_faulty(
+            &ns,
+            &cfg(),
+            build,
+            1,
+            10,
+            lt_telemetry::Telemetry::disabled(),
+            &WorkerFaultPlan::default(),
+        );
+        assert_eq!(faulty.killed, 0);
+        assert_eq!(plain.tangle.len(), faulty.tangle.len());
+        for (x, y) in plain.events.iter().zip(&faulty.events) {
+            assert_eq!(x.node, y.node);
+            assert_eq!(x.tangle_len, y.tangle_len);
+        }
+    }
+
+    #[test]
+    fn kills_are_observable_in_telemetry() {
+        let ns = nodes();
+        let tel = lt_telemetry::Telemetry::new(lt_telemetry::NoopSink);
+        let run = run_async_faulty(
+            &ns,
+            &cfg(),
+            build,
+            1,
+            8,
+            tel.clone(),
+            &WorkerFaultPlan {
+                kills: vec![(0, 3)],
+            },
+        );
+        assert_eq!(run.killed, 1);
+        assert_eq!(tel.counter_value("fault.worker_kill"), 1);
+        assert_eq!(tel.counter_value("fault.worker_respawn"), 1);
     }
 }

@@ -118,6 +118,13 @@ pub fn from_bytes(b: &[u8]) -> Result<Tangle<ModelParams>, PersistError> {
     if count == 0 {
         return Err(PersistError::Malformed("empty ledger"));
     }
+    // Every transaction occupies at least 22 bytes (issuer 8 + round 8 +
+    // parent count 2 + payload length 4), so a count the remaining buffer
+    // cannot possibly hold is a lie — reject it up front instead of
+    // trusting it for capacity planning.
+    if count as u64 * 22 > (b.len() - at) as u64 {
+        return Err(PersistError::Malformed("implausible transaction count"));
+    }
     let mut tangle: Option<Tangle<ModelParams>> = None;
     for i in 0..count {
         let issuer = get_u64(b, &mut at).ok_or(PersistError::Malformed("truncated tx"))?;

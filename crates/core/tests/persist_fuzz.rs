@@ -1,0 +1,135 @@
+//! Adversarial persistence tests: `persist::from_bytes` / `persist::load`
+//! must reject truncated, bit-flipped, wrong-magic, and garbage inputs
+//! with an `Err` — never a panic, and never an absurd allocation driven
+//! by attacker-controlled length fields.
+
+use learning_tangle::node::ModelParams;
+use learning_tangle::persist::{self, PersistError};
+use proptest::prelude::*;
+use std::sync::Arc;
+use tangle_ledger::Tangle;
+use tinynn::ParamVec;
+
+fn sample_bytes(values: &[f32]) -> Vec<u8> {
+    let mut t: Tangle<ModelParams> = Tangle::new(Arc::new(ParamVec(vec![0.25, -0.25])));
+    let mut prev = t.genesis();
+    for (i, &v) in values.iter().enumerate() {
+        prev = t
+            .add_meta(
+                Arc::new(ParamVec(vec![v, v + 1.0])),
+                vec![prev, t.genesis()],
+                i as u64,
+                i as u64 + 1,
+            )
+            .unwrap();
+    }
+    persist::to_bytes(&t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any strict prefix of a valid file fails to load — cleanly.
+    #[test]
+    fn truncation_always_errs(
+        values in prop::collection::vec(-4.0f32..4.0, 1..6),
+        cut in 0usize..1000,
+    ) {
+        let b = sample_bytes(&values);
+        let cut = cut % b.len(); // strictly shorter than the original
+        prop_assert!(persist::from_bytes(&b[..cut]).is_err());
+    }
+
+    /// Any change to the magic or version byte is rejected outright.
+    #[test]
+    fn wrong_magic_or_version_always_errs(
+        values in prop::collection::vec(-4.0f32..4.0, 1..4),
+        pos in 0usize..5,
+        bit in 0u8..8,
+    ) {
+        let mut b = sample_bytes(&values);
+        b[pos] ^= 1 << bit;
+        prop_assert!(persist::from_bytes(&b).is_err());
+    }
+
+    /// Flipping any bit of the header (magic, version, or transaction
+    /// count) always errs: a count change either truncates the stream,
+    /// leaves trailing bytes, or trips the plausibility guard.
+    #[test]
+    fn header_bit_flips_always_err(
+        values in prop::collection::vec(-4.0f32..4.0, 1..4),
+        pos in 0usize..9,
+        bit in 0u8..8,
+    ) {
+        let mut b = sample_bytes(&values);
+        b[pos] ^= 1 << bit;
+        prop_assert!(persist::from_bytes(&b).is_err());
+    }
+
+    /// Flipping bits anywhere never panics. (Flips inside unprotected
+    /// metadata fields — issuer, round, a parent id that stays valid —
+    /// may legitimately decode to a *different* ledger; the checksummed
+    /// payloads and structural checks catch the rest.)
+    #[test]
+    fn arbitrary_bit_flips_never_panic(
+        values in prop::collection::vec(-4.0f32..4.0, 1..5),
+        pos in 0usize..4000,
+        bit in 0u8..8,
+    ) {
+        let mut b = sample_bytes(&values);
+        let pos = pos % b.len();
+        b[pos] ^= 1 << bit;
+        let _ = persist::from_bytes(&b); // must return, Ok or Err
+    }
+
+    /// Random garbage — with or without a genuine-looking header stapled
+    /// on — is rejected without panicking.
+    #[test]
+    fn garbage_always_errs(
+        tail in prop::collection::vec(any::<u8>(), 0..256),
+        with_header in any::<bool>(),
+    ) {
+        let mut b = Vec::new();
+        if with_header {
+            b.extend_from_slice(b"LTGL");
+            b.push(1);
+        }
+        b.extend_from_slice(&tail);
+        prop_assert!(persist::from_bytes(&b).is_err());
+    }
+
+    /// A length-prefix lying about the transaction count is rejected up
+    /// front by the plausibility guard instead of being trusted.
+    #[test]
+    fn absurd_counts_rejected_quickly(count in 1024u32..u32::MAX) {
+        let mut b = Vec::new();
+        b.extend_from_slice(b"LTGL");
+        b.push(1);
+        b.extend_from_slice(&count.to_le_bytes());
+        // a few bytes of "payload" — nowhere near count × 22
+        b.extend_from_slice(&[0u8; 64]);
+        prop_assert!(matches!(
+            persist::from_bytes(&b),
+            Err(PersistError::Malformed("implausible transaction count"))
+        ));
+    }
+}
+
+/// The file-based entry point surfaces the same rejection (and I/O
+/// errors for missing files) instead of panicking.
+#[test]
+fn load_rejects_corrupted_file_and_missing_file() {
+    let b = sample_bytes(&[1.0, 2.0]);
+    let dir = std::env::temp_dir();
+    let path = dir.join("lt_persist_fuzz.tangle");
+    let mut bad = b.clone();
+    let n = bad.len();
+    bad[n - 10] ^= 0x20; // inside the checksummed payload
+    std::fs::write(&path, &bad).unwrap();
+    assert!(persist::load(&path).is_err());
+    std::fs::remove_file(&path).ok();
+    assert!(matches!(
+        persist::load(dir.join("lt_persist_fuzz_missing.tangle")),
+        Err(PersistError::Io(_))
+    ));
+}

@@ -35,6 +35,13 @@ pub struct Opts {
     /// Record wall-clock span timings into the telemetry stream
     /// (`--telemetry-timings`; makes the JSONL non-deterministic).
     pub telemetry_timings: bool,
+    /// Crash/restart cycles for the churn experiment (`--churn=N`).
+    pub churn: u64,
+    /// Seed of the fault-injection RNG (`--fault-seed=N`), independent of
+    /// the master seed so faults can vary while learning stays fixed.
+    pub fault_seed: u64,
+    /// Ticks between peer checkpoints (`--checkpoint-every=N`, 0 = off).
+    pub checkpoint_every: u64,
 }
 
 impl Opts {
@@ -47,6 +54,9 @@ impl Opts {
             rounds: None,
             telemetry: None,
             telemetry_timings: false,
+            churn: 4,
+            fault_seed: 7,
+            checkpoint_every: 64,
         };
         let mut i = 0;
         while i < args.len() {
@@ -61,6 +71,14 @@ impl Opts {
                 opts.out = PathBuf::from(v);
             } else if let Some(v) = a.strip_prefix("--rounds=") {
                 opts.rounds = Some(v.parse().map_err(|e| format!("bad --rounds: {e}"))?);
+            } else if let Some(v) = a.strip_prefix("--churn=") {
+                opts.churn = v.parse().map_err(|e| format!("bad --churn: {e}"))?;
+            } else if let Some(v) = a.strip_prefix("--fault-seed=") {
+                opts.fault_seed = v.parse().map_err(|e| format!("bad --fault-seed: {e}"))?;
+            } else if let Some(v) = a.strip_prefix("--checkpoint-every=") {
+                opts.checkpoint_every = v
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
             } else if let Some(v) = a.strip_prefix("--telemetry=") {
                 opts.telemetry = Some(PathBuf::from(v));
             } else if a == "--telemetry" {

@@ -45,6 +45,7 @@ pub fn run(opts: &Opts) {
             loss,
             pow_difficulty: 0,
             seed: opts.seed ^ 0x90551,
+            ..NetworkConfig::default()
         };
         let mut gl = GossipLearning::new(data.clone(), cfg, net, build);
         gl.set_telemetry(crate::common::telemetry());
@@ -74,12 +75,12 @@ pub fn run(opts: &Opts) {
                 gl.network().stats.dropped
             );
         }
-        // drain the wires and repair losses, then measure the healed state
-        gl.network_mut().run_to_quiescence();
-        gl.network_mut().anti_entropy();
+        // drain the wires and let the pull-based repair protocol heal the
+        // losses peer-to-peer (no omniscient anti-entropy oracle)
+        gl.network_mut().repair_to_quiescence(64);
         let (l, acc) = gl.evaluate_peer(0);
         println!(
-            "  [{label}] after anti-entropy: acc {acc:.3}, consistent: {}",
+            "  [{label}] after repair: acc {acc:.3}, consistent: {}",
             gl.network().replicas_consistent()
         );
         log.push(MetricPoint {

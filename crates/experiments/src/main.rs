@@ -4,6 +4,7 @@
 //! ```text
 //! lt-experiments <experiment> [--paper] [--seed=N] [--rounds=N] [--out=DIR]
 //!                [--telemetry <path.jsonl>] [--telemetry-timings]
+//!                [--churn=N] [--fault-seed=N] [--checkpoint-every=N]
 //!
 //! experiments:
 //!   table1   dataset characteristics and training parameters
@@ -16,6 +17,7 @@
 //!   fig6     label-flipping 3->8, p in {0.1, 0.2, 0.3} (accuracy + 6b)
 //!   backdoor corner-trigger backdoor attack (extension), p in {0.1, 0.2, 0.3}
 //!   gossipnet distributed gossip implementation vs message loss (extension)
+//!   churn    fault injection: accuracy/consistency vs crash-restart churn
 //!   linkability update-linkability attack vs DP noise (extension, §III-D)
 //!   ablate   design-choice ablations (defense, alpha, confidence, bias)
 //!   all      everything above, in order
@@ -26,6 +28,7 @@
 
 mod ablate;
 mod attacks;
+mod churn;
 mod common;
 mod fig2;
 mod fig3;
@@ -41,7 +44,7 @@ use common::Opts;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: lt-experiments <table1|fig2|fig3|fig3a|fig3b|fig3c|fig4|table2|fig5|fig6|backdoor|gossipnet|linkability|ablate|all> [--paper] [--seed=N] [--rounds=N] [--out=DIR] [--telemetry <path.jsonl>] [--telemetry-timings]");
+        eprintln!("usage: lt-experiments <table1|fig2|fig3|fig3a|fig3b|fig3c|fig4|table2|fig5|fig6|backdoor|gossipnet|churn|linkability|ablate|all> [--paper] [--seed=N] [--rounds=N] [--out=DIR] [--telemetry <path.jsonl>] [--telemetry-timings] [--churn=N] [--fault-seed=N] [--checkpoint-every=N]");
         std::process::exit(2);
     };
     let opts = match Opts::parse(&args[1..]) {
@@ -66,6 +69,7 @@ fn main() {
         "fig6" => attacks::fig6(&opts),
         "backdoor" => attacks::backdoor(&opts),
         "gossipnet" => gossipnet::run(&opts),
+        "churn" => churn::run(&opts),
         "linkability" => linkability::run(&opts),
         "ablate" => ablate::run(&opts),
         "all" => {
@@ -78,6 +82,7 @@ fn main() {
             attacks::fig6(&opts);
             attacks::backdoor(&opts);
             gossipnet::run(&opts);
+            churn::run(&opts);
             linkability::run(&opts);
             ablate::run(&opts);
         }

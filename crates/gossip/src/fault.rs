@@ -1,0 +1,223 @@
+//! Deterministic fault injection for the gossip network.
+//!
+//! The paper's §VI outlook asks for the tangle to be benchmarked under
+//! "faults introduced by real-world network conditions". This module is
+//! the schedule for those faults: a [`FaultPlan`] describes per-peer
+//! crash/restart events and per-link perturbations (extra drops,
+//! duplicated deliveries, payload corruption, reordering jitter), all
+//! driven by a dedicated RNG seeded from [`FaultPlan::seed`] so the same
+//! plan reproduces the same fault sequence byte-for-byte — and so a
+//! benign plan (all rates zero, no crashes) consumes no randomness and
+//! leaves a run bit-identical to one with no plan installed at all.
+//!
+//! Recovery is protocol-driven, not harness-driven: [`RepairConfig`]
+//! parameterizes the pull-based repair protocol (see
+//! [`crate::network::Network`]) through which peers re-solidify after
+//! losses and restarts — bounded re-requests with exponential backoff,
+//! plus head advertisement rounds.
+
+/// How a crashed peer comes back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Recovery {
+    /// Rejoin with a fresh replica holding only the genesis.
+    Empty,
+    /// Restore the replica from the peer's last persisted checkpoint
+    /// (falls back to [`Recovery::Empty`] when no checkpoint exists or
+    /// the checkpoint fails validation).
+    FromCheckpoint,
+}
+
+/// One scheduled crash (and optional restart) of a peer.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashEvent {
+    /// Peer to crash.
+    pub peer: usize,
+    /// Simulated tick at which the peer goes down.
+    pub at: u64,
+    /// Tick at which the peer comes back up (`None` = stays down).
+    pub restart_at: Option<u64>,
+    /// State the peer restarts from.
+    pub recovery: Recovery,
+}
+
+/// A deterministic schedule of faults, installed with
+/// [`crate::network::Network::install_faults`].
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed for the fault RNG. Separate from the network seed so
+    /// enabling fault injection never perturbs the base latency/loss
+    /// randomness.
+    pub seed: u64,
+    /// Extra per-hop drop probability, applied after the base loss model.
+    pub drop: f64,
+    /// Per-hop probability that a delivery is duplicated (the copy takes
+    /// its own independently drawn latency).
+    pub duplicate: f64,
+    /// Per-hop probability that a transaction payload has one byte
+    /// flipped in flight (caught by the wire checksum at the receiver).
+    pub corrupt: f64,
+    /// Extra uniformly drawn latency in `0..=reorder_jitter` ticks added
+    /// per hop, shuffling delivery order (0 = off).
+    pub reorder_jitter: u64,
+    /// Scheduled crash/restart events.
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            reorder_jitter: 0,
+            crashes: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Does this plan perturb anything at all? A benign plan is
+    /// guaranteed not to consume fault randomness, so installing it
+    /// leaves the simulation bit-identical to running without one.
+    pub fn is_benign(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.corrupt == 0.0
+            && self.reorder_jitter == 0
+            && self.crashes.is_empty()
+    }
+
+    /// Does the plan perturb links (as opposed to only crashing peers)?
+    pub fn perturbs_links(&self) -> bool {
+        self.drop > 0.0 || self.duplicate > 0.0 || self.corrupt > 0.0 || self.reorder_jitter > 0
+    }
+
+    /// Build a churn schedule: `cycles` crash/restart events spread
+    /// evenly over `horizon` ticks, each hitting a deterministically
+    /// derived peer, down for `downtime` ticks, recovering from its
+    /// checkpoint. Peer 0 is never crashed so experiments always keep a
+    /// stable observer to evaluate.
+    pub fn churn(peers: usize, cycles: usize, horizon: u64, downtime: u64, seed: u64) -> Self {
+        assert!(peers >= 2, "churn needs at least two peers");
+        let mut crashes = Vec::with_capacity(cycles);
+        for k in 0..cycles {
+            let at = horizon * (k as u64 + 1) / (cycles as u64 + 1);
+            let peer = 1 + (tinynn::rng::derive(seed, k as u64) as usize) % (peers - 1);
+            crashes.push(CrashEvent {
+                peer,
+                at: at.max(1),
+                restart_at: Some(at.max(1) + downtime.max(1)),
+                recovery: Recovery::FromCheckpoint,
+            });
+        }
+        Self {
+            seed,
+            crashes,
+            ..Self::default()
+        }
+    }
+}
+
+/// Parameters of the pull-based repair protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairConfig {
+    /// Master switch. Off = orphans wait passively (pre-repair
+    /// behaviour; the [`crate::network::Network::anti_entropy`] oracle is
+    /// then the only way to reconcile losses).
+    pub enabled: bool,
+    /// Ticks an orphaned parent stays missing before the first
+    /// re-request goes out.
+    pub delay: u64,
+    /// Base of the exponential backoff: attempt `a` waits
+    /// `backoff_base << a` ticks before the next re-request.
+    pub backoff_base: u64,
+    /// Re-requests per missing transaction before giving up (head
+    /// advertisement rounds can still repair it afterwards).
+    pub max_retries: u32,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            delay: 8,
+            backoff_base: 8,
+            max_retries: 6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_benign() {
+        assert!(FaultPlan::default().is_benign());
+        assert!(!FaultPlan::default().perturbs_links());
+    }
+
+    #[test]
+    fn any_perturbation_breaks_benignity() {
+        for plan in [
+            FaultPlan {
+                drop: 0.1,
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                duplicate: 0.1,
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                corrupt: 0.1,
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                reorder_jitter: 3,
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                crashes: vec![CrashEvent {
+                    peer: 1,
+                    at: 5,
+                    restart_at: None,
+                    recovery: Recovery::Empty,
+                }],
+                ..FaultPlan::default()
+            },
+        ] {
+            assert!(!plan.is_benign());
+        }
+    }
+
+    #[test]
+    fn churn_schedule_is_deterministic_and_spread() {
+        let a = FaultPlan::churn(8, 4, 100, 10, 7);
+        let b = FaultPlan::churn(8, 4, 100, 10, 7);
+        assert_eq!(a.crashes.len(), 4);
+        for (x, y) in a.crashes.iter().zip(&b.crashes) {
+            assert_eq!(x.peer, y.peer);
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.restart_at, y.restart_at);
+        }
+        // spread over the horizon, never peer 0, always restarting later
+        for c in &a.crashes {
+            assert!(c.peer >= 1 && c.peer < 8);
+            assert!(c.at >= 1 && c.at <= 100);
+            assert!(c.restart_at.unwrap() > c.at);
+            assert_eq!(c.recovery, Recovery::FromCheckpoint);
+        }
+        let times: Vec<u64> = a.crashes.iter().map(|c| c.at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // a different seed picks different peers (overwhelmingly likely)
+        let c = FaultPlan::churn(8, 4, 100, 10, 8);
+        assert!(
+            a.crashes
+                .iter()
+                .zip(&c.crashes)
+                .any(|(x, y)| x.peer != y.peer),
+            "derived peers should vary with the seed"
+        );
+    }
+}

@@ -100,8 +100,15 @@ impl<'a> GossipLearning<'a> {
     }
 
     /// Activate one specific peer: it runs Algorithm 2 on its replica and
-    /// gossips the result. Returns whether it published.
+    /// gossips the result. Returns whether it published. A crashed peer
+    /// cannot train: the activation is skipped (counted under
+    /// `gossip.skipped_down`) while simulated time still advances.
     pub fn activate(&mut self, peer: usize) -> bool {
+        if !self.network.is_up(peer) {
+            self.telemetry.count("gossip.skipped_down", 1);
+            self.network.advance(self.ticks_per_activation);
+            return false;
+        }
         self.slot += 1;
         let slot = self.slot;
         let replica_len;

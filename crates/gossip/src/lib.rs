@@ -16,18 +16,26 @@
 //!   duplicates, malformed payloads, and invalid proofs-of-work.
 //! * [`network`] — a discrete-event message simulator: configurable
 //!   topology (full mesh / ring / random regular), per-link latency,
-//!   message loss, and partitions with explicit anti-entropy
-//!   synchronization on heal.
+//!   message loss, and partitions. Losses and restarts heal through a
+//!   pull-based repair protocol (head advertisement + bounded
+//!   re-requests with exponential backoff); the omniscient anti-entropy
+//!   oracle survives only as a test ground truth.
+//! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   schedules peer crash/restart cycles (recovering empty or from a
+//!   `learning_tangle::persist` checkpoint) and per-link
+//!   drop/duplicate/corrupt/reorder perturbations.
 //! * [`learn`] — decentralized training over the gossip network: peers run
 //!   the paper's Algorithm 2 against their *own replica* and publish the
 //!   result as a gossip broadcast; replicas converge to a common consensus
-//!   model despite latency, loss, and partitions.
+//!   model despite latency, loss, partitions, and churn.
 
+pub mod fault;
 pub mod learn;
 pub mod message;
 pub mod network;
 pub mod peer;
 
+pub use fault::{CrashEvent, FaultPlan, Recovery, RepairConfig};
 pub use message::{ContentId, TxMessage};
-pub use network::{Latency, Network, NetworkConfig, Topology};
+pub use network::{Latency, NetStats, Network, NetworkConfig, Topology};
 pub use peer::{Peer, ReceiveOutcome};

@@ -1,10 +1,14 @@
-//! Discrete-event gossip network simulator.
+//! Discrete-event gossip network simulator with deterministic fault
+//! injection, peer crash/recovery, and a pull-based repair protocol.
 
-use crate::message::TxMessage;
+use crate::fault::{FaultPlan, Recovery, RepairConfig};
+use crate::message::{ContentId, TxMessage};
 use crate::peer::{Peer, ReceiveOutcome};
 use rand::RngExt;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::path::PathBuf;
+use tangle_ledger::TxId;
 use tinynn::rng::{derive, seeded};
 
 /// Connection structure between peers.
@@ -44,6 +48,9 @@ pub struct NetworkConfig {
     pub pow_difficulty: u32,
     /// Seed for latency, loss, and topology randomness.
     pub seed: u64,
+    /// Bound on each peer's orphan buffer; the oldest orphan is evicted
+    /// (and forgotten, so repair can re-fetch it) past this size.
+    pub orphan_cap: usize,
 }
 
 impl Default for NetworkConfig {
@@ -54,29 +61,74 @@ impl Default for NetworkConfig {
             loss: 0.0,
             pow_difficulty: 0,
             seed: 0,
+            orphan_cap: crate::peer::DEFAULT_ORPHAN_CAP,
         }
     }
 }
 
-struct Event {
+/// What travels over a link: data, or repair-protocol control traffic.
+#[derive(Clone, Debug)]
+enum Packet {
+    /// A gossiped transaction.
+    Tx(TxMessage),
+    /// "These are my current tips" — the receiver pushes back whatever
+    /// provably lies outside their closure and pulls any head it has
+    /// never seen.
+    Advertise { heads: Vec<ContentId> },
+    /// "Send me these transactions" — answered from archive or orphan
+    /// buffer with plain [`Packet::Tx`] replies.
+    Request { wants: Vec<ContentId> },
+}
+
+enum Payload {
+    Deliver { from: usize, to: usize, pkt: Packet },
+    Crash { peer: usize },
+    Restart { peer: usize, recovery: Recovery },
+    RepairTick { peer: usize },
+}
+
+struct Scheduled {
     at: u64,
     seq: u64,
-    from: usize,
-    to: usize,
-    msg: TxMessage,
+    payload: Payload,
 }
 
 /// Running statistics of the simulated network.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Messages delivered to a peer.
     pub delivered: u64,
-    /// Messages dropped by the loss model or a partition.
+    /// Messages dropped by the loss model, a partition, or fault drops.
     pub dropped: u64,
     /// Deliveries that were duplicates at the receiver.
     pub duplicates: u64,
     /// Deliveries buffered as orphans.
     pub orphaned: u64,
+    /// Deliveries rejected by the receiver (invalid proof-of-work or a
+    /// payload that failed checksum validation).
+    pub rejected: u64,
+    /// Deliveries discarded because the destination peer was down.
+    pub discarded: u64,
+    /// Repair-protocol re-requests issued for missing transactions.
+    pub rerequests: u64,
+    /// Orphans evicted by the per-peer buffer cap.
+    pub evicted: u64,
+}
+
+/// Per-peer state of the pull-based repair protocol.
+#[derive(Default)]
+struct PeerRepair {
+    /// Missing content id → (re-requests issued, next re-request tick).
+    attempts: BTreeMap<ContentId, (u32, u64)>,
+    /// Earliest scheduled repair tick, if any (suppresses duplicates).
+    next_tick: Option<u64>,
+    /// Restart time, until the peer is observed fully re-solidified.
+    recovering_since: Option<u64>,
+}
+
+struct FaultState {
+    plan: FaultPlan,
+    rng: tinynn::rng::Rng,
 }
 
 /// A gossip network of peers, each holding its own tangle replica.
@@ -86,52 +138,142 @@ pub struct NetStats {
 /// on. Delivery order is randomized by per-hop latency, so replicas see
 /// different insertion orders (and rely on orphan buffering), yet converge
 /// to the same transaction set.
+///
+/// # Faults and repair
+///
+/// [`Network::install_faults`] arms a deterministic [`FaultPlan`]: peers
+/// crash and restart on schedule (discarding traffic while down, then
+/// rejoining empty or from a [`Network::set_checkpointing`] checkpoint),
+/// and links additionally drop, duplicate, corrupt, or reorder traffic,
+/// all driven by a dedicated fault RNG so runs reproduce per fault seed.
+/// Losses are healed by protocol, not by fiat: peers re-request missing
+/// orphan ancestors from neighbours with bounded retries and exponential
+/// backoff, and advertise their heads so neighbours push back the delta
+/// (see [`Network::repair_to_quiescence`]). The omniscient
+/// [`Network::anti_entropy`] survives only as a test ground truth.
 pub struct Network {
     peers: Vec<Peer>,
+    /// Lifecycle per peer: `false` while crashed.
+    up: Vec<bool>,
     adj: Vec<Vec<usize>>,
     queue: BinaryHeap<Reverse<(u64, u64)>>,
-    events: std::collections::HashMap<u64, Event>,
+    events: HashMap<u64, Scheduled>,
     now: u64,
     seq: u64,
     rng: tinynn::rng::Rng,
     /// Partition group per peer; messages crossing groups are dropped.
     groups: Vec<usize>,
     cfg: NetworkConfig,
+    /// The shared genesis message (for empty rejoins and checkpoint
+    /// validation).
+    genesis: TxMessage,
     /// Statistics.
     pub stats: NetStats,
     telemetry: lt_telemetry::Telemetry,
+    faults: Option<FaultState>,
+    repair_cfg: RepairConfig,
+    repair: Vec<PeerRepair>,
+    /// Eviction counts already mirrored into `stats.evicted`.
+    evicted_synced: Vec<u64>,
+    checkpoint_every: u64,
+    next_checkpoint_at: u64,
+    checkpoints: Vec<Option<Vec<u8>>>,
+    checkpoint_dir: Option<PathBuf>,
 }
 
 impl Network {
     /// Build a network of `n` peers sharing the same `genesis` message.
     pub fn new(n: usize, genesis: &TxMessage, cfg: NetworkConfig) -> Self {
         assert!(n >= 2, "need at least two peers");
-        let peers = (0..n)
-            .map(|i| Peer::new(i, genesis, cfg.pow_difficulty))
+        let peers: Vec<Peer> = (0..n)
+            .map(|i| Peer::new(i, genesis, cfg.pow_difficulty).with_orphan_cap(cfg.orphan_cap))
             .collect();
         let mut rng = seeded(derive(cfg.seed, 0x6055));
         let adj = build_topology(n, cfg.topology, &mut rng);
         Self {
             peers,
+            up: vec![true; n],
             adj,
             queue: BinaryHeap::new(),
-            events: std::collections::HashMap::new(),
+            events: HashMap::new(),
             now: 0,
             seq: 0,
             rng,
             groups: vec![0; n],
             cfg,
+            genesis: genesis.clone(),
             stats: NetStats::default(),
             telemetry: lt_telemetry::Telemetry::disabled(),
+            faults: None,
+            repair_cfg: RepairConfig::default(),
+            repair: (0..n).map(|_| PeerRepair::default()).collect(),
+            evicted_synced: vec![0; n],
+            checkpoint_every: 0,
+            next_checkpoint_at: u64::MAX,
+            checkpoints: vec![None; n],
+            checkpoint_dir: None,
         }
     }
 
     /// Attach an observability handle. The network then mirrors its
     /// [`NetStats`] bookkeeping into the `gossip.delivered`,
-    /// `gossip.dropped`, `gossip.duplicates`, and `gossip.orphaned`
-    /// counters, incremented at exactly the same points.
+    /// `gossip.dropped`, `gossip.duplicates`, `gossip.orphaned`,
+    /// `gossip.rejected`, `gossip.rerequests`, and
+    /// `gossip.orphan_evictions` counters (incremented at exactly the
+    /// same points), records fault-engine activity under `fault.crash`,
+    /// `fault.restart`, `fault.recovered`, `fault.discarded`, and
+    /// `fault.checkpoint`, emits a structured `Fault` event per
+    /// transition, and fills the `fault.recovery_ticks` histogram with
+    /// restart-to-resolidified latencies.
     pub fn set_telemetry(&mut self, telemetry: lt_telemetry::Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Arm a deterministic fault schedule: crash/restart events enter the
+    /// event queue, and link perturbations apply to every subsequent hop,
+    /// driven by an RNG derived from [`FaultPlan::seed`] (independent of
+    /// the network seed, so a benign plan changes nothing).
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        for c in &plan.crashes {
+            assert!(c.peer < self.peers.len(), "crash peer out of range");
+            self.push_event(c.at, Payload::Crash { peer: c.peer });
+            if let Some(r) = c.restart_at {
+                assert!(r > c.at, "restart must follow its crash");
+                self.push_event(
+                    r,
+                    Payload::Restart {
+                        peer: c.peer,
+                        recovery: c.recovery,
+                    },
+                );
+            }
+        }
+        let rng = seeded(derive(plan.seed, 0xFA017));
+        self.faults = Some(FaultState { plan, rng });
+    }
+
+    /// Override the repair-protocol parameters (on by default).
+    pub fn set_repair(&mut self, cfg: RepairConfig) {
+        self.repair_cfg = cfg;
+    }
+
+    /// Periodically snapshot every live peer's replica (every `every`
+    /// ticks; 0 disables). Snapshots are kept in memory and, when `dir`
+    /// is given, also written to `dir/peer<i>.ckpt` via the
+    /// `learning_tangle::persist` format so a restart can recover them
+    /// even across processes. Crashed peers restarting with
+    /// [`Recovery::FromCheckpoint`] resume from their latest snapshot.
+    pub fn set_checkpointing(&mut self, every: u64, dir: Option<PathBuf>) {
+        self.checkpoint_every = every;
+        self.next_checkpoint_at = if every > 0 {
+            self.now + every
+        } else {
+            u64::MAX
+        };
+        if let Some(d) = &dir {
+            std::fs::create_dir_all(d).expect("create checkpoint dir");
+        }
+        self.checkpoint_dir = dir;
     }
 
     /// Current simulated time (ticks).
@@ -149,18 +291,34 @@ impl Network {
         &self.peers[i]
     }
 
+    /// Is peer `i` currently up?
+    pub fn is_up(&self, i: usize) -> bool {
+        self.up[i]
+    }
+
     /// Neighbours of peer `i`.
     pub fn neighbours(&self, i: usize) -> &[usize] {
         &self.adj[i]
     }
 
     /// Publish a message from `origin`: the origin inserts it immediately
-    /// and gossips it to its neighbours.
+    /// and gossips it to its neighbours. A crashed origin publishes
+    /// nothing.
     pub fn publish(&mut self, origin: usize, msg: TxMessage) {
+        if !self.up[origin] {
+            return;
+        }
         let outcome = self.peers[origin].receive(&msg);
         if outcome == ReceiveOutcome::Accepted || outcome == ReceiveOutcome::OrphanBuffered {
             self.forward(origin, usize::MAX, msg);
         }
+    }
+
+    fn push_event(&mut self, at: u64, payload: Payload) {
+        self.seq += 1;
+        let seq = self.seq;
+        self.queue.push(Reverse((at, seq)));
+        self.events.insert(seq, Scheduled { at, seq, payload });
     }
 
     fn forward(&mut self, from: usize, came_from: usize, msg: TxMessage) {
@@ -169,36 +327,83 @@ impl Network {
             if to == came_from {
                 continue;
             }
-            if self.groups[from] != self.groups[to] {
-                self.stats.dropped += 1;
-                self.telemetry.count("gossip.dropped", 1);
-                continue;
-            }
-            if self.cfg.loss > 0.0 && self.rng.random_range(0.0..1.0) < self.cfg.loss {
-                self.stats.dropped += 1;
-                self.telemetry.count("gossip.dropped", 1);
-                continue;
-            }
-            let delay = self.rng.random_range(
-                self.cfg.latency.min..=self.cfg.latency.max.max(self.cfg.latency.min),
-            );
-            self.seq += 1;
-            let key = self.seq;
-            self.queue.push(Reverse((self.now + delay, key)));
-            self.events.insert(
-                key,
-                Event {
-                    at: self.now + delay,
-                    seq: key,
-                    from,
-                    to,
-                    msg: msg.clone(),
-                },
-            );
+            self.enqueue_hop(from, to, Packet::Tx(msg.clone()));
         }
     }
 
-    /// Deliver the next in-flight message. Returns `false` when idle.
+    /// Send one packet over the `from → to` link, applying the partition,
+    /// the base loss/latency model, and — when a fault plan is armed —
+    /// the extra drop/duplicate/corrupt/reorder perturbations. The fault
+    /// RNG is only consulted for non-zero rates, so a benign plan leaves
+    /// the base randomness stream untouched.
+    fn enqueue_hop(&mut self, from: usize, to: usize, pkt: Packet) {
+        if self.groups[from] != self.groups[to] {
+            self.stats.dropped += 1;
+            self.telemetry.count("gossip.dropped", 1);
+            return;
+        }
+        if self.cfg.loss > 0.0 && self.rng.random_range(0.0..1.0) < self.cfg.loss {
+            self.stats.dropped += 1;
+            self.telemetry.count("gossip.dropped", 1);
+            return;
+        }
+        let base_delay = self
+            .rng
+            .random_range(self.cfg.latency.min..=self.cfg.latency.max.max(self.cfg.latency.min));
+        let mut pkt = pkt;
+        let mut delays = vec![base_delay];
+        if let Some(f) = &mut self.faults {
+            if f.plan.drop > 0.0 && f.rng.random_range(0.0..1.0) < f.plan.drop {
+                self.stats.dropped += 1;
+                self.telemetry.count("gossip.dropped", 1);
+                return;
+            }
+            if f.plan.duplicate > 0.0 && f.rng.random_range(0.0..1.0) < f.plan.duplicate {
+                // the copy takes its own latency draw (below)
+                delays.push(base_delay);
+            }
+            if f.plan.corrupt > 0.0 {
+                if let Packet::Tx(msg) = &mut pkt {
+                    if f.rng.random_range(0.0..1.0) < f.plan.corrupt && !msg.payload.is_empty() {
+                        let idx = f.rng.random_range(0..msg.payload.len());
+                        let bit = 1u8 << f.rng.random_range(0..8u32);
+                        let mut bytes = msg.payload.to_vec();
+                        bytes[idx] ^= bit;
+                        msg.payload = bytes.into();
+                    }
+                }
+            }
+            if f.plan.reorder_jitter > 0 || delays.len() > 1 {
+                for d in delays.iter_mut() {
+                    if f.plan.reorder_jitter > 0 {
+                        *d += f.rng.random_range(0..=f.plan.reorder_jitter);
+                    }
+                }
+                if delays.len() > 1 {
+                    // independent latency for the duplicate copy
+                    delays[1] = f.rng.random_range(
+                        self.cfg.latency.min..=self.cfg.latency.max.max(self.cfg.latency.min),
+                    ) + if f.plan.reorder_jitter > 0 {
+                        f.rng.random_range(0..=f.plan.reorder_jitter)
+                    } else {
+                        0
+                    };
+                }
+            }
+        }
+        let last = delays.len() - 1;
+        for (i, delay) in delays.iter().enumerate() {
+            let p = if i == last {
+                // move the original on the final copy
+                std::mem::replace(&mut pkt, Packet::Request { wants: Vec::new() })
+            } else {
+                pkt.clone()
+            };
+            self.push_event(self.now + delay, Payload::Deliver { from, to, pkt: p });
+        }
+    }
+
+    /// Deliver the next scheduled event. Returns `false` when idle.
     pub fn step(&mut self) -> bool {
         let Some(Reverse((at, key))) = self.queue.pop() else {
             return false;
@@ -206,28 +411,292 @@ impl Network {
         let ev = self.events.remove(&key).expect("event recorded");
         debug_assert_eq!(ev.at, at);
         debug_assert_eq!(ev.seq, key);
+        self.take_due_checkpoints(at);
         let tel = self.telemetry.clone();
         let _span = tel.span("gossip.deliver_us");
         self.now = self.now.max(at);
-        self.stats.delivered += 1;
-        self.telemetry.count("gossip.delivered", 1);
-        match self.peers[ev.to].receive(&ev.msg) {
-            ReceiveOutcome::Accepted => self.forward(ev.to, ev.from, ev.msg),
-            ReceiveOutcome::OrphanBuffered => {
-                self.stats.orphaned += 1;
-                self.telemetry.count("gossip.orphaned", 1);
-                self.forward(ev.to, ev.from, ev.msg);
-            }
-            ReceiveOutcome::Duplicate => {
-                self.stats.duplicates += 1;
-                self.telemetry.count("gossip.duplicates", 1);
-            }
-            ReceiveOutcome::InvalidPow | ReceiveOutcome::Corrupt => {}
+        match ev.payload {
+            Payload::Deliver { from, to, pkt } => self.deliver(from, to, pkt),
+            Payload::Crash { peer } => self.crash(peer),
+            Payload::Restart { peer, recovery } => self.restart(peer, recovery),
+            Payload::RepairTick { peer } => self.repair_tick(peer),
         }
         true
     }
 
-    /// Deliver everything currently in flight (and whatever it triggers).
+    /// Snapshot all live peers when simulated time crosses a checkpoint
+    /// boundary. Only the last crossed boundary materializes a snapshot:
+    /// nothing was delivered in between, so earlier intermediate
+    /// snapshots would be byte-identical anyway.
+    fn take_due_checkpoints(&mut self, upto: u64) {
+        if self.checkpoint_every == 0 || upto < self.next_checkpoint_at {
+            return;
+        }
+        for i in 0..self.peers.len() {
+            if !self.up[i] {
+                continue;
+            }
+            let bytes = self.peers[i].checkpoint_bytes();
+            if let Some(dir) = &self.checkpoint_dir {
+                let _ = std::fs::write(dir.join(format!("peer{i}.ckpt")), &bytes);
+            }
+            self.checkpoints[i] = Some(bytes);
+        }
+        let periods = (upto - self.next_checkpoint_at) / self.checkpoint_every + 1;
+        self.next_checkpoint_at += periods * self.checkpoint_every;
+        self.telemetry.count("fault.checkpoint", 1);
+    }
+
+    fn deliver(&mut self, from: usize, to: usize, pkt: Packet) {
+        if !self.up[to] {
+            self.stats.discarded += 1;
+            self.telemetry.count("fault.discarded", 1);
+            return;
+        }
+        match pkt {
+            Packet::Tx(msg) => {
+                self.stats.delivered += 1;
+                self.telemetry.count("gossip.delivered", 1);
+                match self.peers[to].receive(&msg) {
+                    ReceiveOutcome::Accepted => {
+                        self.forward(to, from, msg);
+                        self.after_receive(to);
+                    }
+                    ReceiveOutcome::OrphanBuffered => {
+                        self.stats.orphaned += 1;
+                        self.telemetry.count("gossip.orphaned", 1);
+                        self.forward(to, from, msg);
+                        self.after_receive(to);
+                        if self.repair_cfg.enabled {
+                            let at = self.now + self.repair_cfg.delay;
+                            self.schedule_repair(to, at);
+                        }
+                    }
+                    ReceiveOutcome::Duplicate => {
+                        self.stats.duplicates += 1;
+                        self.telemetry.count("gossip.duplicates", 1);
+                    }
+                    ReceiveOutcome::InvalidPow | ReceiveOutcome::Corrupt => {
+                        self.stats.rejected += 1;
+                        self.telemetry.count("gossip.rejected", 1);
+                    }
+                }
+            }
+            Packet::Advertise { heads } => {
+                let unknown: Vec<ContentId> = heads
+                    .iter()
+                    .copied()
+                    .filter(|h| !self.peers[to].has_seen(*h))
+                    .collect();
+                let delta = self.peers[to].delta_for(&heads);
+                for m in delta {
+                    self.enqueue_hop(to, from, Packet::Tx(m));
+                }
+                if !unknown.is_empty() && self.repair_cfg.enabled {
+                    let first_due = self.now + self.repair_cfg.delay;
+                    let st = &mut self.repair[to];
+                    for cid in unknown {
+                        let entry = st.attempts.entry(cid).or_insert((0, first_due));
+                        if entry.0 >= self.repair_cfg.max_retries {
+                            // fresh evidence the tx exists: retry anew
+                            *entry = (0, first_due);
+                        }
+                    }
+                    self.schedule_repair(to, first_due);
+                }
+            }
+            Packet::Request { wants } => {
+                let msgs: Vec<TxMessage> = wants
+                    .iter()
+                    .filter_map(|w| self.peers[to].message_for(*w).cloned())
+                    .collect();
+                for m in msgs {
+                    self.enqueue_hop(to, from, Packet::Tx(m));
+                }
+            }
+        }
+    }
+
+    /// Bookkeeping after a peer absorbed data: mirror orphan evictions
+    /// into the stats and close out crash recovery once the peer is
+    /// fully re-solidified (no orphans, nothing missing).
+    fn after_receive(&mut self, p: usize) {
+        let e = self.peers[p].evictions();
+        if e > self.evicted_synced[p] {
+            let d = e - self.evicted_synced[p];
+            self.stats.evicted += d;
+            self.telemetry.count("gossip.orphan_evictions", d);
+            self.evicted_synced[p] = e;
+        }
+        if self.repair[p].recovering_since.is_some()
+            && self.peers[p].orphan_count() == 0
+            && self.peers[p].missing().is_empty()
+        {
+            let t0 = self.repair[p].recovering_since.take().expect("checked");
+            let now = self.now;
+            self.telemetry.record("fault.recovery_ticks", now - t0);
+            self.telemetry.count("fault.recovered", 1);
+            self.telemetry.emit(|| {
+                lt_telemetry::Event::Fault(lt_telemetry::FaultEvent {
+                    at: now,
+                    peer: p as u64,
+                    kind: "recovered".to_string(),
+                })
+            });
+        }
+    }
+
+    fn crash(&mut self, p: usize) {
+        if !self.up[p] {
+            return;
+        }
+        self.up[p] = false;
+        self.repair[p] = PeerRepair::default();
+        self.telemetry.count("fault.crash", 1);
+        let now = self.now;
+        self.telemetry.emit(|| {
+            lt_telemetry::Event::Fault(lt_telemetry::FaultEvent {
+                at: now,
+                peer: p as u64,
+                kind: "crash".to_string(),
+            })
+        });
+    }
+
+    fn restart(&mut self, p: usize, recovery: Recovery) {
+        if self.up[p] {
+            return;
+        }
+        let restored = match recovery {
+            Recovery::FromCheckpoint => self.restore_from_checkpoint(p),
+            Recovery::Empty => None,
+        };
+        self.peers[p] = restored.unwrap_or_else(|| {
+            Peer::new(p, &self.genesis, self.cfg.pow_difficulty)
+                .with_orphan_cap(self.cfg.orphan_cap)
+        });
+        self.evicted_synced[p] = 0;
+        self.up[p] = true;
+        self.repair[p] = PeerRepair {
+            recovering_since: Some(self.now),
+            ..PeerRepair::default()
+        };
+        self.telemetry.count("fault.restart", 1);
+        let now = self.now;
+        self.telemetry.emit(|| {
+            lt_telemetry::Event::Fault(lt_telemetry::FaultEvent {
+                at: now,
+                peer: p as u64,
+                kind: "restart".to_string(),
+            })
+        });
+        // Pull-based re-solidification: advertise our (possibly stale)
+        // heads so each neighbour pushes back the delta we are missing.
+        let heads = self.peers[p].heads();
+        let nbrs = self.adj[p].clone();
+        for nb in nbrs {
+            if self.up[nb] {
+                self.enqueue_hop(
+                    p,
+                    nb,
+                    Packet::Advertise {
+                        heads: heads.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Latest checkpoint for `p`, from memory or the checkpoint
+    /// directory; `None` when absent, unparsable, or from a different
+    /// genesis (never trust a checkpoint blindly).
+    fn restore_from_checkpoint(&mut self, p: usize) -> Option<Peer> {
+        let bytes: Option<Vec<u8>> = self.checkpoints[p].clone().or_else(|| {
+            self.checkpoint_dir
+                .as_ref()
+                .and_then(|d| std::fs::read(d.join(format!("peer{p}.ckpt"))).ok())
+        });
+        let peer =
+            Peer::from_checkpoint(p, &bytes?, self.cfg.pow_difficulty, self.cfg.orphan_cap).ok()?;
+        (peer.content_id_of(TxId(0)) == self.genesis.content_id()).then_some(peer)
+    }
+
+    /// Schedule a repair tick for peer `p` unless one is already due no
+    /// later than `at`.
+    fn schedule_repair(&mut self, p: usize, at: u64) {
+        if !self.repair_cfg.enabled {
+            return;
+        }
+        if self.repair[p].next_tick.is_some_and(|t| t <= at) {
+            return;
+        }
+        self.repair[p].next_tick = Some(at);
+        self.push_event(at, Payload::RepairTick { peer: p });
+    }
+
+    /// One round of the pull protocol for peer `p`: re-request every due
+    /// missing transaction from a (rotating) live neighbour, back off
+    /// exponentially per transaction, and reschedule for the earliest
+    /// future retry.
+    fn repair_tick(&mut self, p: usize) {
+        if self.repair[p].next_tick.is_some_and(|t| t <= self.now) {
+            self.repair[p].next_tick = None;
+        }
+        if !self.up[p] || !self.repair_cfg.enabled {
+            return;
+        }
+        let now = self.now;
+        let cfg = self.repair_cfg;
+        let missing: Vec<ContentId> = self.peers[p].missing().iter().copied().collect();
+        let nbrs: Vec<usize> = self.adj[p]
+            .iter()
+            .copied()
+            .filter(|&q| self.up[q] && self.groups[p] == self.groups[q])
+            .collect();
+        let mut sends: BTreeMap<usize, Vec<ContentId>> = BTreeMap::new();
+        let mut next_due: Option<u64> = None;
+        {
+            let st = &mut self.repair[p];
+            st.attempts
+                .retain(|cid, _| missing.binary_search(cid).is_ok());
+            for cid in &missing {
+                st.attempts.entry(*cid).or_insert((0, now));
+            }
+            if nbrs.is_empty() {
+                return;
+            }
+            for (cid, (attempt, next_at)) in st.attempts.iter_mut() {
+                if *attempt >= cfg.max_retries {
+                    continue;
+                }
+                if *next_at > now {
+                    next_due = Some(next_due.map_or(*next_at, |d| d.min(*next_at)));
+                    continue;
+                }
+                let nb = nbrs[(*attempt as usize + cid.0 as usize) % nbrs.len()];
+                sends.entry(nb).or_default().push(*cid);
+                *attempt += 1;
+                *next_at = now + (cfg.backoff_base << (*attempt).min(16));
+                if *attempt < cfg.max_retries {
+                    next_due = Some(next_due.map_or(*next_at, |d| d.min(*next_at)));
+                }
+            }
+        }
+        let total: u64 = sends.values().map(|v| v.len() as u64).sum();
+        if total > 0 {
+            self.stats.rerequests += total;
+            self.telemetry.count("gossip.rerequests", total);
+        }
+        for (nb, wants) in sends {
+            self.enqueue_hop(p, nb, Packet::Request { wants });
+        }
+        if let Some(t) = next_due {
+            self.schedule_repair(p, t);
+        }
+    }
+
+    /// Deliver everything currently in flight (and whatever it triggers,
+    /// including scheduled faults and repair retries).
     pub fn run_to_quiescence(&mut self) -> u64 {
         let mut steps = 0;
         while self.step() {
@@ -253,6 +722,58 @@ impl Network {
         steps
     }
 
+    /// Drive the repair protocol to quiescence: repeated rounds in which
+    /// every live peer advertises its heads to its neighbours (through
+    /// the same lossy, fault-injected links as all other traffic),
+    /// followed by a full drain. Terminates once two consecutive rounds
+    /// change nothing and leave no orphans or missing transactions —
+    /// i.e. the protocol has nothing left it could do — or after
+    /// `max_rounds`. Returns whether quiescence was reached.
+    ///
+    /// This replaces [`Network::anti_entropy`] as the sanctioned way to
+    /// reconcile after loss, churn, or a healed partition: every byte
+    /// still travels peer-to-peer over the simulated links.
+    pub fn repair_to_quiescence(&mut self, max_rounds: usize) -> bool {
+        self.run_to_quiescence();
+        let mut stable = 0;
+        for _ in 0..max_rounds {
+            let before: Vec<usize> = self.peers.iter().map(|p| p.len()).collect();
+            for p in 0..self.peers.len() {
+                if !self.up[p] {
+                    continue;
+                }
+                let heads = self.peers[p].heads();
+                let nbrs = self.adj[p].clone();
+                for nb in nbrs {
+                    if self.up[nb] {
+                        self.enqueue_hop(
+                            p,
+                            nb,
+                            Packet::Advertise {
+                                heads: heads.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            self.run_to_quiescence();
+            let unchanged = self.peers.iter().zip(&before).all(|(p, &b)| p.len() == b);
+            let clean = (0..self.peers.len()).all(|i| {
+                !self.up[i]
+                    || (self.peers[i].orphan_count() == 0 && self.peers[i].missing().is_empty())
+            });
+            if unchanged && clean {
+                stable += 1;
+                if stable >= 2 {
+                    return true;
+                }
+            } else {
+                stable = 0;
+            }
+        }
+        false
+    }
+
     /// Split the network: peers keep talking only within their group.
     /// `group_of[i]` assigns peer `i` to a group.
     pub fn partition(&mut self, group_of: Vec<usize>) {
@@ -260,8 +781,9 @@ impl Network {
         self.groups = group_of;
     }
 
-    /// Remove the partition. Does *not* synchronize by itself — call
-    /// [`Self::anti_entropy`] to exchange missed transactions.
+    /// Remove the partition. Does *not* synchronize by itself — run
+    /// [`Self::repair_to_quiescence`] to reconcile via the repair
+    /// protocol (or [`Self::anti_entropy`] in tests).
     pub fn heal(&mut self) {
         self.groups = vec![0; self.peers.len()];
     }
@@ -269,13 +791,20 @@ impl Network {
     /// Pairwise anti-entropy: every peer offers every neighbour all
     /// transactions the neighbour has not seen. Runs until no new
     /// transaction moves (handles multi-hop repair on sparse topologies).
+    ///
+    /// This is an *omniscient oracle* — it teleports state without using
+    /// the simulated links — kept only as a ground truth for tests.
+    /// Protocol-faithful reconciliation is [`Self::repair_to_quiescence`].
     pub fn anti_entropy(&mut self) {
         loop {
             let mut moved = false;
             for a in 0..self.peers.len() {
+                if !self.up[a] {
+                    continue;
+                }
                 for bi in 0..self.adj[a].len() {
                     let b = self.adj[a][bi];
-                    if self.groups[a] != self.groups[b] {
+                    if self.groups[a] != self.groups[b] || !self.up[b] {
                         continue;
                     }
                     let to_send: Vec<TxMessage> = self.peers[a]
@@ -359,6 +888,7 @@ fn build_topology(n: usize, topology: Topology, rng: &mut tinynn::rng::Rng) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::CrashEvent;
     use crate::message::ContentId;
     use tinynn::ParamVec;
 
@@ -368,6 +898,17 @@ mod tests {
 
     fn msg(parents: Vec<ContentId>, issuer: u64, v: f32) -> TxMessage {
         TxMessage::create(&ParamVec(vec![v]), parents, issuer, 0, 0)
+    }
+
+    /// Publish a chain of `k` transactions from peer 0, draining between
+    /// publications.
+    fn publish_chain(net: &mut Network, k: u64) {
+        for i in 0..k {
+            let tip = net.peer(0).replica().tips()[0];
+            let cid = net.peer(0).content_id_of(tip);
+            net.publish(0, msg(vec![cid], i, i as f32));
+            net.run_to_quiescence();
+        }
     }
 
     #[test]
@@ -446,15 +987,33 @@ mod tests {
                 ..NetworkConfig::default()
             },
         );
-        for i in 0..6u64 {
-            let tip = net.peer(0).replica().tips()[0];
-            let cid = net.peer(0).content_id_of(tip);
-            net.publish(0, msg(vec![cid], i, i as f32));
-            net.run_to_quiescence();
-        }
+        publish_chain(&mut net, 6);
         assert!(net.stats.dropped > 0, "loss model should drop something");
         net.anti_entropy();
         assert!(net.replicas_consistent(), "anti-entropy must repair losses");
+        assert_eq!(net.peer(4).len(), 7);
+    }
+
+    #[test]
+    fn loss_repaired_by_pull_protocol_alone() {
+        let g = genesis();
+        let mut net = Network::new(
+            5,
+            &g,
+            NetworkConfig {
+                topology: Topology::Ring,
+                loss: 0.4,
+                seed: 11,
+                ..NetworkConfig::default()
+            },
+        );
+        publish_chain(&mut net, 6);
+        assert!(net.stats.dropped > 0, "loss model should drop something");
+        assert!(net.repair_to_quiescence(64), "repair should quiesce");
+        assert!(
+            net.replicas_consistent(),
+            "head advertisement + pull must repair losses without the oracle"
+        );
         assert_eq!(net.peer(4).len(), 7);
     }
 
@@ -475,8 +1034,8 @@ mod tests {
         assert!(net.peer(4).lookup(a.content_id()).is_none());
         assert!(!net.replicas_consistent());
         net.heal();
-        net.anti_entropy();
-        assert!(net.replicas_consistent(), "heal + sync must reconcile");
+        assert!(net.repair_to_quiescence(32));
+        assert!(net.replicas_consistent(), "heal + repair must reconcile");
         assert_eq!(net.peer(0).len(), 3);
     }
 
@@ -499,5 +1058,166 @@ mod tests {
         net.publish(0, a);
         net.run_to_quiescence();
         assert!(net.replicas_consistent());
+    }
+
+    #[test]
+    fn benign_fault_plan_changes_nothing() {
+        let g = genesis();
+        let cfg = NetworkConfig {
+            topology: Topology::RandomRegular { degree: 3 },
+            latency: Latency { min: 1, max: 7 },
+            loss: 0.2,
+            seed: 5,
+            ..NetworkConfig::default()
+        };
+        let mut plain = Network::new(8, &g, cfg);
+        let mut armed = Network::new(8, &g, cfg);
+        armed.install_faults(FaultPlan::default());
+        publish_chain(&mut plain, 5);
+        publish_chain(&mut armed, 5);
+        assert_eq!(plain.stats, armed.stats, "benign plan must be invisible");
+        for (a, b) in plain.peers().iter().zip(armed.peers()) {
+            assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn crashed_peer_discards_traffic_and_rejoins_empty() {
+        let g = genesis();
+        let mut net = Network::new(4, &g, NetworkConfig::default());
+        net.install_faults(FaultPlan {
+            crashes: vec![CrashEvent {
+                peer: 2,
+                at: 1,
+                restart_at: Some(40),
+                recovery: Recovery::Empty,
+            }],
+            ..FaultPlan::default()
+        });
+        let a = msg(vec![g.content_id()], 0, 1.0);
+        let b = msg(vec![a.content_id()], 0, 2.0);
+        net.publish(0, a.clone());
+        net.publish(0, b.clone());
+        net.advance(30);
+        assert!(!net.is_up(2));
+        assert!(net.stats.discarded > 0, "down peer must discard deliveries");
+        assert!(net.peer(2).lookup(a.content_id()).is_none());
+        // restart fires at t=40; the advertise/pull exchange refills it
+        assert!(net.repair_to_quiescence(32));
+        assert!(net.is_up(2));
+        assert!(net.replicas_consistent(), "rejoined peer must re-solidify");
+        assert_eq!(net.peer(2).len(), 3);
+    }
+
+    #[test]
+    fn crashed_peer_restores_from_checkpoint() {
+        let g = genesis();
+        let mut net = Network::new(4, &g, NetworkConfig::default());
+        net.set_checkpointing(5, None);
+        net.install_faults(FaultPlan {
+            crashes: vec![CrashEvent {
+                peer: 3,
+                at: 20,
+                restart_at: Some(30),
+                recovery: Recovery::FromCheckpoint,
+            }],
+            ..FaultPlan::default()
+        });
+        let a = msg(vec![g.content_id()], 0, 1.0);
+        net.publish(0, a.clone());
+        net.advance(15); // a delivered everywhere; checkpoints at 5/10/15
+        assert!(net.is_up(3));
+        assert!(net.peer(3).lookup(a.content_id()).is_some());
+        net.advance(7); // crash fires at t=20
+        assert!(!net.is_up(3));
+        let b = msg(vec![a.content_id()], 0, 2.0);
+        net.publish(0, b.clone());
+        net.advance(5); // b floods while 3 is down
+        assert!(net.peer(3).lookup(b.content_id()).is_none());
+        net.advance(10); // restart at t=30 restores the checkpoint
+        assert!(net.is_up(3));
+        assert!(
+            net.peer(3).lookup(a.content_id()).is_some(),
+            "checkpointed transaction must survive the crash"
+        );
+        assert!(net.repair_to_quiescence(32));
+        assert!(net.replicas_consistent());
+        assert!(net.peer(3).lookup(b.content_id()).is_some());
+    }
+
+    #[test]
+    fn corruption_is_rejected_counted_and_repaired() {
+        let g = genesis();
+        let mut net = Network::new(
+            5,
+            &g,
+            NetworkConfig {
+                topology: Topology::Ring,
+                seed: 3,
+                ..NetworkConfig::default()
+            },
+        );
+        net.install_faults(FaultPlan {
+            seed: 9,
+            corrupt: 0.35,
+            ..FaultPlan::default()
+        });
+        publish_chain(&mut net, 6);
+        assert!(net.stats.rejected > 0, "corrupted payloads must be counted");
+        assert!(net.repair_to_quiescence(64));
+        assert!(
+            net.replicas_consistent(),
+            "intact copies must be re-pulled after corruption"
+        );
+    }
+
+    #[test]
+    fn duplicate_injection_shows_up_as_duplicates() {
+        let g = genesis();
+        let cfg = NetworkConfig {
+            topology: Topology::Ring,
+            seed: 6,
+            ..NetworkConfig::default()
+        };
+        let mut base = Network::new(5, &g, cfg);
+        let mut dup = Network::new(5, &g, cfg);
+        dup.install_faults(FaultPlan {
+            seed: 2,
+            duplicate: 0.5,
+            ..FaultPlan::default()
+        });
+        publish_chain(&mut base, 4);
+        publish_chain(&mut dup, 4);
+        assert!(
+            dup.stats.duplicates > base.stats.duplicates,
+            "duplication faults must surface as receiver-side duplicates"
+        );
+        assert!(dup.replicas_consistent());
+    }
+
+    #[test]
+    fn rerequests_back_off_and_stay_bounded() {
+        let g = genesis();
+        let mut net = Network::new(
+            4,
+            &g,
+            NetworkConfig {
+                topology: Topology::Ring,
+                ..NetworkConfig::default()
+            },
+        );
+        net.set_repair(RepairConfig {
+            max_retries: 3,
+            ..RepairConfig::default()
+        });
+        // publish a child whose parent no peer will ever hold
+        let phantom = msg(vec![g.content_id()], 9, 99.0);
+        let child = msg(vec![phantom.content_id()], 0, 1.0);
+        net.publish(0, child);
+        net.run_to_quiescence();
+        assert!(net.stats.rerequests > 0, "missing parent must be requested");
+        // 4 peers × ≤3 retries each; bounded even though the tx is gone
+        assert!(net.stats.rerequests <= 12, "{}", net.stats.rerequests);
+        assert!(net.peer(1).orphan_count() > 0);
     }
 }

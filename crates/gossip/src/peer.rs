@@ -2,9 +2,14 @@
 
 use crate::message::{ContentId, TxMessage};
 use learning_tangle::node::ModelParams;
-use std::collections::{HashMap, HashSet};
+use learning_tangle::persist::{self, PersistError};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use tangle_ledger::{Tangle, TxId};
+
+/// Default bound on the per-peer orphan buffer (see
+/// [`Peer::with_orphan_cap`]).
+pub const DEFAULT_ORPHAN_CAP: usize = 1024;
 
 /// What happened when a peer processed an incoming message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,11 +36,23 @@ pub struct Peer {
     /// local id → content id (for re-gossip and sync).
     content_of: Vec<ContentId>,
     /// Original wire messages in insertion order (index 0 = genesis),
-    /// kept verbatim so anti-entropy sync re-sends byte-identical
-    /// messages (content ids cover the PoW nonce).
+    /// kept verbatim so sync re-sends byte-identical messages (content
+    /// ids cover the PoW nonce).
     archive: Vec<TxMessage>,
     /// Messages waiting for missing parents, keyed by their own id.
     orphans: HashMap<ContentId, TxMessage>,
+    /// Orphan arrival order: drives both bounded eviction (oldest first)
+    /// and deterministic flush order. May hold stale ids of orphans that
+    /// have since flushed; consumers skip ids absent from `orphans`.
+    orphan_order: VecDeque<ContentId>,
+    /// Maximum buffered orphans before the oldest is evicted.
+    orphan_cap: usize,
+    /// Orphans evicted by the cap so far.
+    evictions: u64,
+    /// Parents referenced by buffered orphans that this peer has never
+    /// seen — the pull targets of the repair protocol. Ordered so repair
+    /// traffic is deterministic.
+    missing: BTreeSet<ContentId>,
     /// Everything ever seen (replica + orphans), to suppress gossip loops.
     seen: HashSet<ContentId>,
     /// Required proof-of-work difficulty (0 = disabled).
@@ -64,9 +81,112 @@ impl Peer {
             content_of: vec![gid],
             archive: vec![genesis.clone()],
             orphans: HashMap::new(),
+            orphan_order: VecDeque::new(),
+            orphan_cap: DEFAULT_ORPHAN_CAP,
+            evictions: 0,
+            missing: BTreeSet::new(),
             seen,
             pow_difficulty,
         }
+    }
+
+    /// Bound the orphan buffer to `cap` entries (oldest evicted first; a
+    /// cap of 0 means orphans are never buffered). Evicted transactions
+    /// are forgotten entirely, so the repair protocol can re-fetch them.
+    pub fn with_orphan_cap(mut self, cap: usize) -> Self {
+        self.orphan_cap = cap;
+        self
+    }
+
+    /// Restore a peer from checkpoint bytes produced by
+    /// [`Peer::checkpoint_bytes`]. The replica, archive, and content-id
+    /// tables are rebuilt exactly; the orphan buffer starts empty (an
+    /// orphan is by definition not yet part of the ledger).
+    pub fn from_checkpoint(
+        id: usize,
+        bytes: &[u8],
+        pow_difficulty: u32,
+        orphan_cap: usize,
+    ) -> Result<Self, PersistError> {
+        let (tangle, extras) = decode_checkpoint(bytes)?;
+        let mut by_content = HashMap::new();
+        let mut content_of = Vec::with_capacity(tangle.len());
+        let mut archive = Vec::with_capacity(tangle.len());
+        let mut seen = HashSet::new();
+        for (i, tx) in tangle.transactions().iter().enumerate() {
+            // Wire parent order is part of the content id; the ledger
+            // image sorts and dedups parents, so the trailer's ordered
+            // list is authoritative. Still require set-equality with the
+            // ledger so the two halves cannot disagree.
+            let WireExtras {
+                nonce,
+                wire_parents,
+            } = &extras[i];
+            let mut sorted: Vec<TxId> = wire_parents.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted != tx.parents {
+                return Err(PersistError::Malformed("parent table mismatch"));
+            }
+            let parents: Vec<ContentId> = wire_parents
+                .iter()
+                .map(|p| {
+                    if p.index() >= i {
+                        return Err(PersistError::Malformed("forward parent reference"));
+                    }
+                    Ok(content_of[p.index()])
+                })
+                .collect::<Result<_, _>>()?;
+            let msg = TxMessage {
+                parents,
+                issuer: tx.issuer,
+                slot: tx.round,
+                payload: tinynn::wire::encode(&tx.payload),
+                nonce: *nonce,
+            };
+            let cid = msg.content_id();
+            by_content.insert(cid, TxId(i as u32));
+            content_of.push(cid);
+            archive.push(msg);
+            seen.insert(cid);
+        }
+        Ok(Self {
+            id,
+            replica: tangle,
+            by_content,
+            content_of,
+            archive,
+            orphans: HashMap::new(),
+            orphan_order: VecDeque::new(),
+            orphan_cap,
+            evictions: 0,
+            missing: BTreeSet::new(),
+            seen,
+            pow_difficulty,
+        })
+    }
+
+    /// Serialize this peer's replica for crash recovery: the
+    /// [`learning_tangle::persist`] ledger image plus a per-transaction
+    /// wire trailer — the PoW nonce and the parents in original wire
+    /// order. Both are covered by the content id but absent from the
+    /// ledger image (which stores parents sorted and deduped), so they
+    /// are required to reconstruct byte-identical messages.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let tangle_bytes = persist::to_bytes(&self.replica);
+        let mut out = Vec::with_capacity(4 + 1 + 4 + tangle_bytes.len() + 12 * self.archive.len());
+        out.extend_from_slice(CHECKPOINT_MAGIC);
+        out.push(CHECKPOINT_VERSION);
+        out.extend_from_slice(&(tangle_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&tangle_bytes);
+        for m in &self.archive {
+            out.extend_from_slice(&m.nonce.to_le_bytes());
+            out.extend_from_slice(&(m.parents.len() as u16).to_le_bytes());
+            for p in &m.parents {
+                out.extend_from_slice(&self.by_content[p].0.to_le_bytes());
+            }
+        }
+        out
     }
 
     /// This peer's current replica.
@@ -89,6 +209,27 @@ impl Peer {
         self.orphans.len()
     }
 
+    /// Orphans evicted by the buffer cap so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Parents referenced by buffered orphans that this peer has never
+    /// seen — what the repair protocol should pull from neighbours.
+    pub fn missing(&self) -> &BTreeSet<ContentId> {
+        &self.missing
+    }
+
+    /// Content ids of the replica's current tips — the heads advertised
+    /// to neighbours by the repair protocol.
+    pub fn heads(&self) -> Vec<ContentId> {
+        self.replica
+            .tips()
+            .into_iter()
+            .map(|id| self.content_of[id.index()])
+            .collect()
+    }
+
     /// Content id of a local transaction.
     pub fn content_id_of(&self, id: TxId) -> ContentId {
         self.content_of[id.index()]
@@ -104,11 +245,43 @@ impl Peer {
         self.seen.contains(&cid)
     }
 
-    /// All messages this peer can re-send during anti-entropy sync, in
-    /// topological (insertion) order, skipping the genesis. These are the
-    /// verbatim originals, so content ids (and proofs-of-work) survive.
+    /// The verbatim wire message for `cid`, if this peer holds it in its
+    /// replica archive or orphan buffer (served to repair requests).
+    pub fn message_for(&self, cid: ContentId) -> Option<&TxMessage> {
+        if let Some(id) = self.by_content.get(&cid) {
+            return self.archive.get(id.index());
+        }
+        self.orphans.get(&cid)
+    }
+
+    /// All messages this peer can re-send during sync, in topological
+    /// (insertion) order, skipping the genesis. These are the verbatim
+    /// originals, so content ids (and proofs-of-work) survive.
     pub fn export_messages(&self) -> Vec<TxMessage> {
         self.archive[1..].to_vec()
+    }
+
+    /// Messages in this replica that are *not* ancestors of any of the
+    /// advertised `heads` — i.e. what a neighbour advertising those heads
+    /// is provably missing. Returned in insertion (topological) order.
+    /// Heads unknown locally are ignored (the advertiser is ahead there;
+    /// the pull side of the protocol handles that direction).
+    pub fn delta_for(&self, heads: &[ContentId]) -> Vec<TxMessage> {
+        let mut in_closure = vec![false; self.replica.len()];
+        let mut stack: Vec<TxId> = heads
+            .iter()
+            .filter_map(|h| self.by_content.get(h).copied())
+            .collect();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut in_closure[id.index()], true) {
+                continue;
+            }
+            stack.extend(self.replica.get(id).parents.iter().copied());
+        }
+        (1..self.replica.len())
+            .filter(|&i| !in_closure[i])
+            .map(|i| self.archive[i].clone())
+            .collect()
     }
 
     /// Process an incoming message.
@@ -124,13 +297,55 @@ impl Peer {
             return ReceiveOutcome::Corrupt;
         }
         self.seen.insert(cid);
+        self.missing.remove(&cid);
         if msg.parents.iter().all(|p| self.by_content.contains_key(p)) {
             self.insert(cid, msg);
             self.flush_orphans();
             ReceiveOutcome::Accepted
         } else {
+            for p in &msg.parents {
+                if !self.seen.contains(p) {
+                    self.missing.insert(*p);
+                }
+            }
             self.orphans.insert(cid, msg.clone());
+            self.orphan_order.push_back(cid);
+            self.enforce_orphan_cap();
             ReceiveOutcome::OrphanBuffered
+        }
+    }
+
+    /// Evict oldest orphans until the buffer respects the cap. Evicted
+    /// entries are forgotten (removed from `seen`) so a re-delivery or a
+    /// repair re-fetch can buffer them again.
+    fn enforce_orphan_cap(&mut self) {
+        let mut evicted = false;
+        while self.orphans.len() > self.orphan_cap {
+            let Some(victim) = self.orphan_order.pop_front() else {
+                break;
+            };
+            if self.orphans.remove(&victim).is_none() {
+                continue; // stale id of an already-flushed orphan
+            }
+            self.seen.remove(&victim);
+            self.evictions += 1;
+            evicted = true;
+        }
+        if evicted {
+            self.recompute_missing();
+        }
+    }
+
+    /// Rebuild `missing` from the surviving orphans (eviction may both
+    /// re-miss the victim and orphan references that only it held).
+    fn recompute_missing(&mut self) {
+        self.missing.clear();
+        for m in self.orphans.values() {
+            for p in &m.parents {
+                if !self.seen.contains(p) {
+                    self.missing.insert(*p);
+                }
+            }
         }
     }
 
@@ -148,24 +363,88 @@ impl Peer {
         debug_assert_eq!(self.archive.len(), self.replica.len());
     }
 
-    /// Repeatedly insert any orphans whose parents are now present.
+    /// Repeatedly insert any orphans whose parents are now present, in
+    /// arrival order (deterministic across runs, unlike map iteration).
     fn flush_orphans(&mut self) {
         loop {
             let ready: Vec<ContentId> = self
-                .orphans
+                .orphan_order
                 .iter()
-                .filter(|(_, m)| m.parents.iter().all(|p| self.by_content.contains_key(p)))
-                .map(|(cid, _)| *cid)
+                .filter(|cid| {
+                    self.orphans
+                        .get(cid)
+                        .is_some_and(|m| m.parents.iter().all(|p| self.by_content.contains_key(p)))
+                })
+                .copied()
                 .collect();
             if ready.is_empty() {
-                return;
+                break;
             }
             for cid in ready {
                 let msg = self.orphans.remove(&cid).expect("listed above");
                 self.insert(cid, &msg);
             }
         }
+        // drop stale front entries so eviction targets live orphans
+        while let Some(front) = self.orphan_order.front() {
+            if self.orphans.contains_key(front) {
+                break;
+            }
+            self.orphan_order.pop_front();
+        }
     }
+}
+
+const CHECKPOINT_MAGIC: &[u8; 4] = b"LTCP";
+const CHECKPOINT_VERSION: u8 = 1;
+
+/// Per-transaction wire facts a checkpoint carries beyond the ledger
+/// image: the PoW nonce and the parents in original wire order.
+struct WireExtras {
+    nonce: u64,
+    wire_parents: Vec<TxId>,
+}
+
+/// Split checkpoint bytes into the persisted tangle and the wire trailer.
+fn decode_checkpoint(b: &[u8]) -> Result<(Tangle<ModelParams>, Vec<WireExtras>), PersistError> {
+    if b.len() < 9 || &b[..4] != CHECKPOINT_MAGIC {
+        return Err(PersistError::Malformed("bad checkpoint magic"));
+    }
+    if b[4] != CHECKPOINT_VERSION {
+        return Err(PersistError::Malformed("unsupported checkpoint version"));
+    }
+    let tlen = u32::from_le_bytes(b[5..9].try_into().expect("4 bytes")) as usize;
+    let rest = &b[9..];
+    if rest.len() < tlen {
+        return Err(PersistError::Malformed("truncated checkpoint tangle"));
+    }
+    let tangle = persist::from_bytes(&rest[..tlen])?;
+    let mut at = tlen;
+    let mut extras = Vec::with_capacity(tangle.len());
+    for _ in 0..tangle.len() {
+        if rest.len() < at + 10 {
+            return Err(PersistError::Malformed("truncated wire trailer"));
+        }
+        let nonce = u64::from_le_bytes(rest[at..at + 8].try_into().expect("8 bytes"));
+        let np = u16::from_le_bytes(rest[at + 8..at + 10].try_into().expect("2 bytes")) as usize;
+        at += 10;
+        if rest.len() < at + 4 * np {
+            return Err(PersistError::Malformed("truncated wire parents"));
+        }
+        let wire_parents = rest[at..at + 4 * np]
+            .chunks_exact(4)
+            .map(|c| TxId(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+            .collect();
+        at += 4 * np;
+        extras.push(WireExtras {
+            nonce,
+            wire_parents,
+        });
+    }
+    if at != rest.len() {
+        return Err(PersistError::Malformed("trailing checkpoint bytes"));
+    }
+    Ok((tangle, extras))
 }
 
 #[cfg(test)]
@@ -205,10 +484,104 @@ mod tests {
         assert_eq!(p.receive(&b), ReceiveOutcome::OrphanBuffered);
         assert_eq!(p.orphan_count(), 2);
         assert_eq!(p.len(), 1);
+        // only `a` is truly missing — b is buffered, hence "seen"
+        assert_eq!(p.missing().len(), 1);
+        assert!(p.missing().contains(&a.content_id()));
         // the arrival of `a` flushes b then c
         assert_eq!(p.receive(&a), ReceiveOutcome::Accepted);
         assert_eq!(p.len(), 4);
         assert_eq!(p.orphan_count(), 0);
+        assert!(p.missing().is_empty());
+    }
+
+    #[test]
+    fn orphan_cap_evicts_oldest_and_allows_refetch() {
+        let g = genesis();
+        let mut p = Peer::new(0, &g, 0).with_orphan_cap(2);
+        let a = msg(vec![g.content_id()], 1, 1.0);
+        let b = msg(vec![a.content_id()], 2, 2.0);
+        let c = msg(vec![a.content_id()], 3, 3.0);
+        let d = msg(vec![a.content_id()], 4, 4.0);
+        assert_eq!(p.receive(&b), ReceiveOutcome::OrphanBuffered);
+        assert_eq!(p.receive(&c), ReceiveOutcome::OrphanBuffered);
+        assert_eq!(p.receive(&d), ReceiveOutcome::OrphanBuffered);
+        // b (oldest) was evicted and forgotten
+        assert_eq!(p.orphan_count(), 2);
+        assert_eq!(p.evictions(), 1);
+        assert!(!p.has_seen(b.content_id()));
+        // a re-delivery of b buffers it again (not a duplicate)
+        assert_eq!(p.receive(&b), ReceiveOutcome::OrphanBuffered);
+        assert_eq!(p.evictions(), 2, "re-buffering b evicts c in turn");
+        // once `a` arrives, the surviving orphans flush
+        assert_eq!(p.receive(&a), ReceiveOutcome::Accepted);
+        assert_eq!(p.orphan_count(), 0);
+        assert_eq!(p.len(), 4); // genesis, a, d, b (c was evicted)
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_content_ids() {
+        let g = genesis();
+        let mut p = Peer::new(3, &g, 0);
+        let a = msg(vec![g.content_id()], 1, 1.0);
+        let b = msg(vec![a.content_id(), g.content_id()], 2, 2.0);
+        p.receive(&a);
+        p.receive(&b);
+        let bytes = p.checkpoint_bytes();
+        let r = Peer::from_checkpoint(3, &bytes, 0, 16).expect("valid checkpoint");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.content_id_of(TxId(0)), g.content_id());
+        assert!(r.lookup(a.content_id()).is_some());
+        assert!(r.lookup(b.content_id()).is_some());
+        // the restored archive is byte-identical, so re-gossip still works
+        for (x, y) in p.export_messages().iter().zip(r.export_messages()) {
+            assert_eq!(x.encode().as_ref(), y.encode().as_ref());
+        }
+        // and a corrupted checkpoint is rejected, not trusted
+        let mut bad = bytes.clone();
+        let n = bad.len();
+        bad[0] ^= 0x10; // magic
+        assert!(Peer::from_checkpoint(3, &bad, 0, 16).is_err());
+        assert!(Peer::from_checkpoint(3, &bytes[..n - 3], 0, 16).is_err());
+    }
+
+    #[test]
+    fn heads_and_delta_drive_repair() {
+        let g = genesis();
+        let mut p = Peer::new(0, &g, 0);
+        let a = msg(vec![g.content_id()], 1, 1.0);
+        let b = msg(vec![a.content_id()], 2, 2.0);
+        let c = msg(vec![g.content_id()], 3, 3.0);
+        p.receive(&a);
+        p.receive(&b);
+        p.receive(&c);
+        let heads = p.heads();
+        assert!(heads.contains(&b.content_id()));
+        assert!(heads.contains(&c.content_id()));
+        // a neighbour advertising only `a` as head is missing b and c
+        let delta = p.delta_for(&[a.content_id()]);
+        let ids: Vec<ContentId> = delta.iter().map(|m| m.content_id()).collect();
+        assert_eq!(ids, vec![b.content_id(), c.content_id()]);
+        // advertising the full frontier yields nothing
+        assert!(p.delta_for(&heads).is_empty());
+        // an empty (genesis-only) advertiser gets everything
+        assert_eq!(p.delta_for(&[g.content_id()]).len(), 3);
+    }
+
+    #[test]
+    fn message_for_serves_archive_and_orphans() {
+        let g = genesis();
+        let mut p = Peer::new(0, &g, 0);
+        let a = msg(vec![g.content_id()], 1, 1.0);
+        let b = msg(vec![a.content_id()], 2, 2.0);
+        p.receive(&b); // orphan
+        assert!(p.message_for(b.content_id()).is_some());
+        assert!(p.message_for(a.content_id()).is_none());
+        p.receive(&a);
+        assert!(p.message_for(a.content_id()).is_some());
+        assert_eq!(
+            p.message_for(g.content_id()).map(|m| m.content_id()),
+            Some(g.content_id())
+        );
     }
 
     #[test]

@@ -118,6 +118,7 @@ proptest! {
                 loss: 0.0,
                 pow_difficulty: 0,
                 seed,
+                ..NetworkConfig::default()
             },
         );
         for (m, &o) in msgs.iter().zip(origins.iter().cycle()) {

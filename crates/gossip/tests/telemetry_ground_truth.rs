@@ -71,6 +71,26 @@ fn assert_counters_match_stats(gl: &GossipLearning<'_>, tel: &Telemetry) {
         gl.discarded(),
         "discarded counter out of sync"
     );
+    assert_eq!(
+        tel.counter_value("gossip.rejected"),
+        stats.rejected,
+        "rejected counter out of sync"
+    );
+    assert_eq!(
+        tel.counter_value("gossip.rerequests"),
+        stats.rerequests,
+        "rerequests counter out of sync"
+    );
+    assert_eq!(
+        tel.counter_value("gossip.orphan_evictions"),
+        stats.evicted,
+        "eviction counter out of sync"
+    );
+    assert_eq!(
+        tel.counter_value("fault.discarded"),
+        stats.discarded,
+        "fault.discarded counter out of sync"
+    );
 }
 
 #[test]
@@ -85,6 +105,7 @@ fn counters_match_netstats_on_lossy_ring() {
             loss: 0.3,
             pow_difficulty: 0,
             seed: 11,
+            ..NetworkConfig::default()
         },
         build,
     );

@@ -82,6 +82,19 @@ pub struct AsyncPublishEvent {
     pub snapshot_len: u64,
 }
 
+/// One fault-engine transition: a peer crash, restart, recovery, or a
+/// worker kill/respawn in the asynchronous simulator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Simulated tick (gossip network) or local step (async workers).
+    pub at: u64,
+    /// Affected peer / worker id.
+    pub peer: u64,
+    /// Transition kind: `"crash"`, `"restart"`, `"recovered"`,
+    /// `"worker_kill"`, or `"worker_respawn"`.
+    pub kind: String,
+}
+
 /// Every event the simulators emit.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Event {
@@ -91,6 +104,8 @@ pub enum Event {
     Round(RoundEvent),
     /// An asynchronous-simulator publication.
     AsyncPublish(AsyncPublishEvent),
+    /// A fault-engine lifecycle transition.
+    Fault(FaultEvent),
 }
 
 impl Event {
@@ -99,7 +114,7 @@ impl Event {
         match self {
             Event::Step(e) => Some(e.round),
             Event::Round(e) => Some(e.round),
-            Event::AsyncPublish(_) => None,
+            Event::AsyncPublish(_) | Event::Fault(_) => None,
         }
     }
 }
@@ -146,6 +161,20 @@ mod tests {
         });
         let back: Event = serde_json::from_str(&serde_json::to_string(&ev).unwrap()).unwrap();
         assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn fault_event_roundtrips_through_json() {
+        let ev = Event::Fault(FaultEvent {
+            at: 42,
+            peer: 3,
+            kind: "restart".to_string(),
+        });
+        let line = serde_json::to_string(&ev).unwrap();
+        assert!(line.starts_with("{\"Fault\":{"));
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, ev);
+        assert_eq!(ev.round(), None);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod events;
 pub mod metrics;
 pub mod sink;
 
-pub use events::{AsyncPublishEvent, Event, ReferenceEntry, RoundEvent, StepEvent};
+pub use events::{AsyncPublishEvent, Event, FaultEvent, ReferenceEntry, RoundEvent, StepEvent};
 pub use metrics::{Counter, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use sink::{JsonlSink, MemorySink, NoopSink, TelemetrySink};
 

@@ -6,7 +6,7 @@
 //! lossy, latent links (buffering orphans that arrive before their
 //! parents), and trains against its possibly-stale view. Mid-run the
 //! network splits into two halves which keep learning independently; after
-//! the heal, anti-entropy synchronization merges the sub-tangles.
+//! the heal, the pull-based repair protocol merges the sub-tangles.
 //!
 //! ```text
 //! cargo run --release --example p2p_partition
@@ -48,6 +48,7 @@ fn main() {
         loss: 0.05,
         pow_difficulty: 0,
         seed: 5,
+        ..NetworkConfig::default()
     };
     let mut gl = GossipLearning::new(data, cfg, net, || mlp(8, &[16], 4, &mut seeded(1)));
 
@@ -74,9 +75,9 @@ fn main() {
         gl.network().replicas_consistent()
     );
 
-    println!("\nphase 3: heal + anti-entropy sync");
+    println!("\nphase 3: heal + pull-based repair");
     gl.network_mut().heal();
-    gl.network_mut().anti_entropy();
+    gl.network_mut().repair_to_quiescence(64);
     let (_, merged) = gl.evaluate_peer(0);
     println!(
         "  merged ledger: {} txs on every peer, consistent: {}, consensus accuracy {merged:.3}",
