@@ -28,6 +28,7 @@ fn bench_defense_cost(c: &mut Criterion) {
             tip_validation: validation,
             window: None,
             accuracy_bias: 0.0,
+            parallel_walks: true,
         };
         g.bench_function(name, |b| {
             b.iter_batched(

@@ -53,6 +53,78 @@ fn bench_tangle_analysis(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_analysis_cache(c: &mut Criterion) {
+    use tangle_ledger::{AnalysisCache, RefreshOutcome};
+    let mut g = c.benchmark_group("analysis_cache");
+    g.sample_size(20);
+    for (rounds, width) in [(200, 50), (1000, 50)] {
+        let t = synthetic_tangle(rounds, width);
+        let n = t.len();
+        // Cached-vs-fresh equivalence: the incrementally maintained DP
+        // tables must match a from-scratch analysis exactly.
+        let cache = AnalysisCache::new(&t);
+        let fresh = TangleAnalysis::compute(&t);
+        assert_eq!(cache.weights(), fresh.cumulative_weight.as_slice());
+        assert_eq!(cache.ratings(), fresh.rating.as_slice());
+        assert_eq!(cache.depths().to_vec(), tangle_ledger::analysis::depths(&t));
+        // A cache synced one simulator round (10 publishers) ago: refresh
+        // must extend incrementally, never rebuild.
+        let lag = 10;
+        let stale = AnalysisCache::new(&t.prefix(n - lag));
+        {
+            let mut probe = stale.clone();
+            assert!(matches!(
+                probe.refresh(&t),
+                RefreshOutcome::Extended(k) if k == lag
+            ));
+        }
+        g.bench_function(format!("incremental_refresh_{lag}new_{n}tx"), |b| {
+            b.iter_batched(
+                || stale.clone(),
+                |mut c2| {
+                    c2.refresh(&t);
+                    black_box(c2.len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("full_rebuild_{n}tx"), |b| {
+            b.iter(|| black_box(AnalysisCache::new(&t).len()))
+        });
+        // Pin the speedup at the 50k scale: the incremental refresh (which
+        // pays a full cache clone *plus* the catch-up) must still be ≥5×
+        // faster than rebuilding the DP tables from scratch. Median of 9
+        // trials keeps this robust in `--test` smoke runs.
+        if n > 40_000 {
+            let median = |f: &mut dyn FnMut()| {
+                let mut samples: Vec<_> = (0..9)
+                    .map(|_| {
+                        let start = std::time::Instant::now();
+                        f();
+                        start.elapsed()
+                    })
+                    .collect();
+                samples.sort();
+                samples[4]
+            };
+            let rebuild = median(&mut || {
+                black_box(AnalysisCache::new(&t).len());
+            });
+            let refresh = median(&mut || {
+                let mut c2 = stale.clone();
+                c2.refresh(&t);
+                black_box(c2.len());
+            });
+            assert!(
+                refresh * 5 <= rebuild,
+                "incremental refresh must be >=5x faster than a full rebuild \
+                 at {n} tx: refresh {refresh:?} vs rebuild {rebuild:?}"
+            );
+        }
+    }
+    g.finish();
+}
+
 fn bench_param_aggregation(c: &mut Criterion) {
     let mut g = c.benchmark_group("param_aggregation");
     for dim in [10_000usize, 100_000] {
@@ -132,6 +204,29 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
                 &disabled,
             ))
         })
+    });
+    // Cache-refresh probe: `refresh_observed` with a disabled handle must
+    // cost the same as the raw `refresh` (the counters are never touched).
+    let stale = tangle_ledger::AnalysisCache::new(&t.prefix(t.len() - 10));
+    g.bench_function("cache_refresh_raw", |b| {
+        b.iter_batched(
+            || stale.clone(),
+            |mut c2| {
+                c2.refresh(&t);
+                black_box(c2.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("cache_refresh_noop_telemetry", |b| {
+        b.iter_batched(
+            || stale.clone(),
+            |mut c2| {
+                c2.refresh_observed(&t, &disabled);
+                black_box(c2.len())
+            },
+            BatchSize::SmallInput,
+        )
     });
     // Whole-round probe: Simulation::round with the default (disabled)
     // handle vs. an attached no-op sink.
@@ -274,6 +369,7 @@ fn bench_dataset_generation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_tangle_analysis,
+    bench_analysis_cache,
     bench_param_aggregation,
     bench_wire_codec,
     bench_telemetry_overhead,

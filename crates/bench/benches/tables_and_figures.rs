@@ -159,6 +159,7 @@ fn bench_table2(c: &mut Criterion) {
                         tip_validation: true,
                         window: None,
                         accuracy_bias: 0.0,
+                        parallel_walks: true,
                     },
                 )
             },

@@ -139,6 +139,10 @@ pub fn run_async_faulty(
             let telemetry = telemetry.clone();
             scope.spawn(move || {
                 let mut rng = seeded(derive(cfg.seed, 0xA11C ^ w as u64));
+                // Worker-local analysis cache: snapshots of the append-only
+                // ledger only ever extend each other, so every step is an
+                // incremental catch-up (kills don't invalidate it either).
+                let mut cache = tangle_ledger::AnalysisCache::new(&ledger.read());
                 let mut generation = 0u64;
                 let mut step = 0u64;
                 while !done.load(Ordering::Relaxed) {
@@ -148,8 +152,9 @@ pub fn run_async_faulty(
                     let snapshot = ledger.read().clone();
                     let snapshot_len = snapshot.len();
                     let vround = snapshot_len as u64;
-                    let ctx = RoundContext::build_observed(
+                    let ctx = RoundContext::build_with_cache(
                         &snapshot,
+                        &mut cache,
                         cfg,
                         vround,
                         derive(cfg.seed, (w as u64) << 40 | step),

@@ -51,6 +51,12 @@ pub struct TangleHyperParams {
     /// cumulative-weight units) to the walk weights. Expensive — intended
     /// for small networks / the sub-tangle clustering study.
     pub accuracy_bias: f64,
+    /// Run each node's `sample_size` tip-selection walks as a rayon batch
+    /// instead of a serial loop. Every walk draws from its own RNG stream
+    /// derived from the node RNG, so the result is bit-identical either
+    /// way (pinned by the determinism tests) — the flag only chooses the
+    /// execution strategy.
+    pub parallel_walks: bool,
 }
 
 impl TangleHyperParams {
@@ -67,6 +73,7 @@ impl TangleHyperParams {
             tip_validation: false,
             window: None,
             accuracy_bias: 0.0,
+            parallel_walks: true,
         }
     }
 
@@ -83,6 +90,7 @@ impl TangleHyperParams {
             tip_validation: false,
             window: None,
             accuracy_bias: 0.0,
+            parallel_walks: true,
         }
     }
 
@@ -100,6 +108,7 @@ impl TangleHyperParams {
             tip_validation: true,
             window: None,
             accuracy_bias: 0.0,
+            parallel_walks: true,
         }
     }
 }

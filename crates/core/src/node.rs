@@ -7,9 +7,11 @@ use fedavg::local_train;
 use feddata::ClientData;
 use rand::RngExt;
 use rand_distr::{Distribution, Normal};
+use rayon::prelude::*;
 use std::sync::Arc;
 use tangle_ledger::walk::RandomWalk;
-use tangle_ledger::{Tangle, TangleAnalysis, TxId};
+use tangle_ledger::{AnalysisCache, Tangle, TangleAnalysis, TxId};
+use tinynn::rng::{derive, seeded};
 use tinynn::{ParamVec, Sequential};
 
 /// Payload carried by learning-tangle transactions: a shared, immutable
@@ -164,6 +166,44 @@ impl<'a> RoundContext<'a> {
         telemetry: lt_telemetry::Telemetry,
     ) -> Self {
         let analysis = TangleAnalysis::compute_observed(tangle, &telemetry);
+        let depths = cfg
+            .hyper
+            .window
+            .map(|_| tangle_ledger::analysis::depths(tangle));
+        Self::from_analysis(tangle, analysis, depths, cfg, round, seed, telemetry)
+    }
+
+    /// Like [`Self::build_observed`], serving the weight/rating/depth DPs
+    /// from `cache` instead of recomputing them. The cache is refreshed
+    /// against `tangle` first (incremental catch-up, or a counted rebuild
+    /// when it is stale — see [`AnalysisCache::refresh_observed`]), so the
+    /// context is bit-identical to a freshly built one; only the cost
+    /// changes, from `O(V²/64)` to `O(appended cones)`.
+    pub fn build_with_cache(
+        tangle: &'a Tangle<ModelParams>,
+        cache: &mut AnalysisCache,
+        cfg: &SimConfig,
+        round: u64,
+        seed: u64,
+        telemetry: lt_telemetry::Telemetry,
+    ) -> Self {
+        cache.refresh_observed(tangle, &telemetry);
+        let analysis = cache.analysis();
+        let depths = cfg.hyper.window.map(|_| cache.depths().to_vec());
+        Self::from_analysis(tangle, analysis, depths, cfg, round, seed, telemetry)
+    }
+
+    /// Algorithm 1 over an already-computed analysis: confidence sampling,
+    /// reference selection, and reference-model averaging.
+    fn from_analysis(
+        tangle: &'a Tangle<ModelParams>,
+        analysis: TangleAnalysis,
+        depths: Option<Vec<u32>>,
+        cfg: &SimConfig,
+        round: u64,
+        seed: u64,
+        telemetry: lt_telemetry::Telemetry,
+    ) -> Self {
         let walk = RandomWalk::new(cfg.hyper.alpha);
         let samples = cfg.hyper.confidence_samples.max(1);
         let confidence = match cfg.hyper.confidence_mode {
@@ -182,10 +222,6 @@ impl<'a> RoundContext<'a> {
             .map(|id| tangle.get(*id).payload.as_ref())
             .collect();
         let reference = ParamVec::average(&payloads);
-        let depths = cfg
-            .hyper
-            .window
-            .map(|_| tangle_ledger::analysis::depths(tangle));
         Self {
             tangle,
             analysis,
@@ -219,6 +255,21 @@ impl<'a> RoundContext<'a> {
                 rng,
                 &self.telemetry,
             ),
+        }
+    }
+
+    /// Sample `k` tips as a batch of independent walks. One draw from
+    /// `rng` seeds the batch; walk `i` then runs on its own RNG stream
+    /// derived from that seed, so the output is identical whether the
+    /// walks run serially or as a rayon batch — `parallel` (usually
+    /// `hyper.parallel_walks`) only picks the execution strategy.
+    pub fn sample_tips(&self, k: usize, rng: &mut dyn rand::Rng, parallel: bool) -> Vec<TxId> {
+        let base = rng.random::<u64>();
+        let one = |i: usize| self.sample_tip(&mut seeded(derive(base, i as u64)));
+        if parallel {
+            (0..k).into_par_iter().map(one).collect()
+        } else {
+            (0..k).map(one).collect()
         }
     }
 }
@@ -305,13 +356,22 @@ fn honest_step(
             })
             .collect()
     });
-    let samples: Vec<TxId> = (0..hyper.sample_size.max(hyper.num_tips))
-        .map(|_| match &bias {
-            None => ctx.sample_tip(rng),
-            Some(b) => tangle_ledger::walk::BiasedRandomWalk::new(hyper.alpha, b)
-                .select_tip_with_weights(ctx.tangle, &ctx.analysis.cumulative_weight, rng),
-        })
-        .collect();
+    let samples: Vec<TxId> =
+        match &bias {
+            None => ctx.sample_tips(
+                hyper.sample_size.max(hyper.num_tips),
+                rng,
+                hyper.parallel_walks,
+            ),
+            // The biased walk is a small-network research mode; its per-walk
+            // weight table makes batching pointless, so it stays serial.
+            Some(b) => (0..hyper.sample_size.max(hyper.num_tips))
+                .map(|_| {
+                    tangle_ledger::walk::BiasedRandomWalk::new(hyper.alpha, b)
+                        .select_tip_with_weights(ctx.tangle, &ctx.analysis.cumulative_weight, rng)
+                })
+                .collect(),
+        };
     let parents: Vec<TxId> = if hyper.tip_validation {
         let mut distinct = samples.clone();
         distinct.sort_unstable();
@@ -382,9 +442,8 @@ fn random_poison_step(
     let normal = Normal::new(0.0f32, 1.0).expect("valid normal");
     let dim = ctx.reference.len();
     let params = ParamVec((0..dim).map(|_| normal.sample(rng)).collect());
-    let parents: Vec<TxId> = (0..cfg.hyper.num_tips.max(1))
-        .map(|_| ctx.sample_tip(rng))
-        .collect();
+    let parents: Vec<TxId> =
+        ctx.sample_tips(cfg.hyper.num_tips.max(1), rng, cfg.hyper.parallel_walks);
     StepOutcome {
         publish: Some(Publish {
             node: node.id,

@@ -15,13 +15,13 @@ use lt_telemetry::{Event, ReferenceEntry, RoundEvent, StepEvent, Telemetry};
 use rand::RngExt;
 use rayon::prelude::*;
 use std::sync::Arc;
-use tangle_ledger::Tangle;
+use tangle_ledger::{AnalysisCache, Tangle};
 use tinynn::loss::predictions;
 use tinynn::rng::{derive, seeded};
 use tinynn::{ParamVec, Sequential};
 
 /// Statistics of one simulated round.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RoundStats {
     /// Round index (1-based).
     pub round: u64,
@@ -61,6 +61,10 @@ pub struct Simulation<'a> {
     round_end_len: Vec<usize>,
     /// Publications dropped by the lossy network so far.
     lost_publications: u64,
+    /// Incremental analysis cache for the shared round context (`None` =
+    /// recompute the batch DPs every round). Produces bit-identical runs
+    /// either way; only the cost differs.
+    cache: Option<AnalysisCache>,
     /// Observability handle; disabled (no-op) unless attached.
     telemetry: Telemetry,
 }
@@ -81,9 +85,11 @@ impl<'a> Simulation<'a> {
             .enumerate()
             .map(|(i, c)| Node::honest(i, c))
             .collect();
+        let tangle = Tangle::new(genesis);
         Self {
             nodes,
-            tangle: Tangle::new(genesis),
+            cache: Some(AnalysisCache::new(&tangle)),
+            tangle,
             build: Box::new(build),
             cfg,
             dp: None,
@@ -123,6 +129,15 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Enable or disable the incremental analysis cache (on by default).
+    /// Runs are bit-identical either way — the differential property tests
+    /// pin cached weights/ratings/depths to the from-scratch DPs — so the
+    /// only reason to disable it is to measure or test the fresh path.
+    pub fn with_analysis_cache(mut self, enabled: bool) -> Self {
+        self.cache = enabled.then(|| AnalysisCache::new(&self.tangle));
+        self
+    }
+
     /// Resume from a persisted ledger (see [`crate::persist`]): the
     /// network keeps its full history; training continues from whatever
     /// consensus the saved tangle encodes. The restored transactions are
@@ -154,6 +169,7 @@ impl<'a> Simulation<'a> {
         let len = tangle.len();
         Self {
             nodes,
+            cache: Some(AnalysisCache::new(&tangle)),
             tangle,
             build: Box::new(build),
             cfg,
@@ -212,14 +228,26 @@ impl<'a> Simulation<'a> {
         let mut reference_entries: Vec<ReferenceEntry> = Vec::new();
         let outcomes: Vec<(usize, crate::node::StepOutcome)> = match self.cfg.network {
             None => {
-                let ctx = phases.measure("analysis", || {
-                    RoundContext::build_observed(
-                        &self.tangle,
+                // Split the borrows so the cache can be refreshed while the
+                // context keeps a shared reference to the tangle.
+                let (tangle, cache) = (&self.tangle, &mut self.cache);
+                let ctx_seed = derive(self.cfg.seed, round ^ 0xC0FF_EE00);
+                let ctx = phases.measure("analysis", || match cache {
+                    Some(cache) => RoundContext::build_with_cache(
+                        tangle,
+                        cache,
                         &self.cfg,
                         round,
-                        derive(self.cfg.seed, round ^ 0xC0FF_EE00),
+                        ctx_seed,
                         tel.clone(),
-                    )
+                    ),
+                    None => RoundContext::build_observed(
+                        tangle,
+                        &self.cfg,
+                        round,
+                        ctx_seed,
+                        tel.clone(),
+                    ),
                 });
                 if tel.enabled() {
                     reference_entries = ctx
@@ -589,6 +617,92 @@ mod tests {
             (sim.tangle().len(), sim.evaluate(0).accuracy)
         };
         assert_eq!(run(9), run(9));
+    }
+
+    /// Full fingerprint of a short observed run: per-round stats, the
+    /// ledger structure (issuer + parent indices per tx), the consensus
+    /// accuracy, and the raw telemetry JSONL bytes.
+    type RunFingerprint = (Vec<RoundStats>, Vec<(u64, Vec<u32>)>, f32, Vec<u8>);
+
+    fn fingerprint(cfg: SimConfig, cache: bool, path: &std::path::Path) -> RunFingerprint {
+        let sink = lt_telemetry::JsonlSink::create(path).expect("create jsonl");
+        let mut sim = Simulation::new(dataset(10), cfg, build)
+            .with_analysis_cache(cache)
+            .with_telemetry(Telemetry::new(sink));
+        let stats: Vec<RoundStats> = (0..6).map(|_| sim.round()).collect();
+        if cache {
+            assert_eq!(
+                sim.telemetry().counter_value("tangle.cache_hits"),
+                6,
+                "every round context must be served from the cache"
+            );
+            assert_eq!(sim.telemetry().counter_value("tangle.cache_rebuilds"), 0);
+        }
+        let structure = sim
+            .tangle()
+            .transactions()
+            .iter()
+            .map(|tx| {
+                (
+                    tx.issuer,
+                    tx.parents.iter().map(|p| p.index() as u32).collect(),
+                )
+            })
+            .collect();
+        let accuracy = sim.evaluate(0).accuracy;
+        let bytes = std::fs::read(path).expect("read jsonl");
+        let _ = std::fs::remove_file(path);
+        (stats, structure, accuracy, bytes)
+    }
+
+    #[test]
+    fn cache_on_and_off_are_bit_identical() {
+        // The cache must be a pure optimization: same seed with the cache
+        // enabled and disabled yields the same rounds, ledger, accuracy,
+        // and telemetry bytes — only `tangle.cache_*` metrics may differ
+        // (they never reach the JSONL event stream).
+        let dir = std::env::temp_dir();
+        let on = fingerprint(quick_cfg(), true, &dir.join("lt_cache_on.jsonl"));
+        let off = fingerprint(quick_cfg(), false, &dir.join("lt_cache_off.jsonl"));
+        assert_eq!(on.0, off.0, "RoundStats must match");
+        assert_eq!(on.1, off.1, "ledger structure must match");
+        assert_eq!(on.2, off.2, "accuracy must match");
+        assert!(!on.3.is_empty(), "telemetry must produce output");
+        assert_eq!(on.3, off.3, "telemetry JSONL must be byte-identical");
+    }
+
+    #[test]
+    fn cache_on_and_off_are_bit_identical_windowed() {
+        // Windowed tip selection additionally consumes the cached depths.
+        let mut cfg = quick_cfg();
+        cfg.hyper.window = Some(3);
+        let dir = std::env::temp_dir();
+        let on = fingerprint(cfg.clone(), true, &dir.join("lt_cache_on_w.jsonl"));
+        let off = fingerprint(cfg, false, &dir.join("lt_cache_off_w.jsonl"));
+        assert_eq!(on.0, off.0);
+        assert_eq!(on.1, off.1);
+        assert_eq!(on.2, off.2);
+        assert_eq!(on.3, off.3);
+    }
+
+    #[test]
+    fn parallel_and_serial_walks_are_bit_identical() {
+        // Each walk runs on its own derived RNG stream, so batching the
+        // walks through rayon cannot change what they select.
+        let mut cfg = quick_cfg();
+        cfg.hyper.sample_size = 6;
+        cfg.hyper.tip_validation = true;
+        let dir = std::env::temp_dir();
+        let mut par = cfg.clone();
+        par.hyper.parallel_walks = true;
+        let mut ser = cfg;
+        ser.hyper.parallel_walks = false;
+        let a = fingerprint(par, true, &dir.join("lt_walks_par.jsonl"));
+        let b = fingerprint(ser, true, &dir.join("lt_walks_ser.jsonl"));
+        assert_eq!(a.0, b.0, "RoundStats must match");
+        assert_eq!(a.1, b.1, "ledger structure must match");
+        assert_eq!(a.2, b.2, "accuracy must match");
+        assert_eq!(a.3, b.3, "telemetry JSONL must be byte-identical");
     }
 
     #[test]

@@ -116,6 +116,7 @@ fn defense(opts: &Opts) {
             tip_validation: validation,
             window: None,
             accuracy_bias: 0.0,
+            parallel_walks: true,
         };
         let mut sim = Simulation::new(
             data.clone(),

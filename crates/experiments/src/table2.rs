@@ -69,6 +69,7 @@ pub fn run(opts: &Opts) {
                     tip_validation: m > 1,
                     window: None,
                     accuracy_bias: 0.0,
+                    parallel_walks: true,
                 };
                 let label = format!("tips{n}-sample{}-ref{r}", n * m);
                 let (log, _) = run_tangle(

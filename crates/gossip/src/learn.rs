@@ -12,6 +12,7 @@ use feddata::FederatedDataset;
 use learning_tangle::node::{node_step, Node, RoundContext};
 use learning_tangle::SimConfig;
 use rand::RngExt;
+use tangle_ledger::AnalysisCache;
 use tinynn::rng::{derive, seeded};
 use tinynn::{ParamVec, Sequential};
 
@@ -27,6 +28,11 @@ pub struct GossipLearning<'a> {
     published: u64,
     discarded: u64,
     rng: tinynn::rng::Rng,
+    /// Per-peer analysis caches over each peer's replica. Replicas grow
+    /// append-only between activations (incremental catch-up); a crash /
+    /// checkpoint-restore replaces the replica wholesale, which the cache
+    /// detects and answers with a counted rebuild.
+    caches: Vec<AnalysisCache>,
     telemetry: lt_telemetry::Telemetry,
 }
 
@@ -51,8 +57,12 @@ impl<'a> GossipLearning<'a> {
             .map(|(i, c)| Node::honest(i, c))
             .collect();
         let rng = seeded(derive(cfg.seed, 0x60551EA2));
+        let caches = (0..n)
+            .map(|i| AnalysisCache::new(network.peer(i).replica()))
+            .collect();
         Self {
             network,
+            caches,
             nodes,
             build: Box::new(build),
             cfg,
@@ -115,8 +125,9 @@ impl<'a> GossipLearning<'a> {
         let (publish, new_loss, reference_loss) = {
             let replica = self.network.peer(peer).replica();
             replica_len = replica.len();
-            let ctx = RoundContext::build_observed(
+            let ctx = RoundContext::build_with_cache(
                 replica,
+                &mut self.caches[peer],
                 &self.cfg,
                 slot,
                 derive(self.cfg.seed, slot ^ 0x0C7A_6000),

@@ -53,6 +53,8 @@ struct ChurnOutcome {
     crashes: u64,
     restarts: u64,
     recovered: u64,
+    cache_hits: u64,
+    cache_rebuilds: u64,
 }
 
 /// One full churn scenario: ≥2 crashes (one checkpoint recovery, one
@@ -102,6 +104,11 @@ fn run_churn(fault_seed: u64) -> ChurnOutcome {
     gl.run(80);
     let quiesced = gl.network_mut().repair_to_quiescence(64);
     let consistent = gl.network().replicas_consistent();
+    let replica_len = gl.network().peer(0).len();
+    // Peer 4 rejoined empty and rebuilt its replica through repair, so its
+    // next activation must detect the replaced history (the tangle order
+    // differs from what its analysis cache tracked) and rebuild.
+    gl.activate(4);
     let telemetry_lines = sink
         .events()
         .iter()
@@ -112,10 +119,12 @@ fn run_churn(fault_seed: u64) -> ChurnOutcome {
         telemetry_lines,
         quiesced,
         consistent,
-        replica_len: gl.network().peer(0).len(),
+        replica_len,
         crashes: tel.counter_value("fault.crash"),
         restarts: tel.counter_value("fault.restart"),
         recovered: tel.counter_value("fault.recovered"),
+        cache_hits: tel.counter_value("tangle.cache_hits"),
+        cache_rebuilds: tel.counter_value("tangle.cache_rebuilds"),
     }
 }
 
@@ -138,6 +147,16 @@ fn churn_reconverges_via_pull_repair_alone() {
     assert!(out.stats.duplicates > 0, "duplication must surface");
     assert!(out.stats.rejected > 0, "corruption must be rejected");
     assert!(out.stats.rerequests > 0, "repair must issue re-requests");
+    // the per-peer analysis caches serve steady-state activations and
+    // detect the replaced replicas of restarted peers
+    assert!(
+        out.cache_hits > 0,
+        "activations must hit the analysis cache"
+    );
+    assert!(
+        out.cache_rebuilds >= 1,
+        "a restarted peer's replaced replica must force a cache rebuild"
+    );
     // the telemetry stream narrates the fault schedule
     let faults: Vec<&String> = out
         .telemetry_lines

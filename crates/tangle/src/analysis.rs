@@ -17,6 +17,7 @@ use crate::bitset::BitSet;
 use crate::graph::{Tangle, TxId};
 use crate::walk::RandomWalk;
 use rayon::prelude::*;
+use std::collections::BTreeSet;
 
 /// Exact cumulative weights: `w(t) = 1 + |{x : x directly or indirectly
 /// approves t}|` (own weight plus distinct approvers), computed by a
@@ -74,6 +75,10 @@ pub fn ratings<P>(tangle: &Tangle<P>) -> Vec<u32> {
 /// Call [`IncrementalWeights::on_add`] after every `Tangle::add`; the
 /// weights are equal to [`cumulative_weights`] at all times (verified by
 /// property tests).
+///
+/// For the full set of derived quantities (weights, ratings, depths, and
+/// tips) maintained under the same identity — plus stale-cache detection
+/// instead of panics — see [`AnalysisCache`].
 pub struct IncrementalWeights {
     weights: Vec<u32>,
 }
@@ -103,9 +108,333 @@ impl IncrementalWeights {
         }
     }
 
+    /// Like [`Self::on_add`], also counting the append under the
+    /// `tangle.cache_appends` telemetry counter (no-op when the handle is
+    /// disabled).
+    pub fn on_add_observed<P>(
+        &mut self,
+        tangle: &Tangle<P>,
+        id: TxId,
+        telemetry: &lt_telemetry::Telemetry,
+    ) {
+        self.on_add(tangle, id);
+        telemetry.count("tangle.cache_appends", 1);
+    }
+
     /// The current weights (aligned with transaction ids).
     pub fn weights(&self) -> &[u32] {
         &self.weights
+    }
+}
+
+/// Why an [`AnalysisCache`] refused to advance against a tangle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheError {
+    /// `on_add` was called with an id that is not the next transaction
+    /// after the ones already tracked (skipped or out-of-order append).
+    OutOfOrder {
+        /// The id the cache expected to see next.
+        expected: u32,
+        /// The id it was given.
+        got: u32,
+    },
+    /// The tangle holds fewer transactions than the cache tracks — the
+    /// cache was built over a longer (or different) history.
+    TangleTooShort {
+        /// Transactions tracked by the cache.
+        cached: usize,
+        /// Transactions in the presented tangle.
+        tangle: usize,
+    },
+    /// The transaction at the cache's frontier does not match what the
+    /// cache recorded when it advanced past it — the tangle is a
+    /// *different* history of the same length (e.g. a replica restored
+    /// from an older checkpoint and regrown along another branch).
+    HistoryMismatch {
+        /// Id at which the divergence was detected.
+        at: u32,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::OutOfOrder { expected, got } => {
+                write!(f, "out-of-order append: expected tx{expected}, got tx{got}")
+            }
+            CacheError::TangleTooShort { cached, tangle } => {
+                write!(f, "cache tracks {cached} txs but tangle holds {tangle}")
+            }
+            CacheError::HistoryMismatch { at } => {
+                write!(f, "tangle history diverges from the cache at tx{at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// How an [`AnalysisCache::refresh`] brought the cache up to date.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefreshOutcome {
+    /// The cache already matched the tangle; nothing to do.
+    Fresh,
+    /// The tangle extended the cached history; the delta was applied
+    /// incrementally (`.0` = transactions appended).
+    Extended(usize),
+    /// Validation failed (shorter or diverged history); the cache was
+    /// rebuilt from scratch with the batch DPs.
+    Rebuilt,
+}
+
+/// Signature of one transaction's structural identity (id + parent set),
+/// used to detect diverged histories without storing them. SplitMix64-style
+/// avalanche fold — not cryptographic, but two replicas that restored from
+/// different checkpoints will not collide in practice.
+fn tx_sig(id: u32, parents: &[TxId]) -> u64 {
+    let mut h = 0x243F_6A88_85A3_08D3u64 ^ u64::from(id);
+    for p in parents {
+        let mut z = h
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(p.0) << 1);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h = z ^ (z >> 31);
+    }
+    h
+}
+
+/// Incrementally maintained tangle analysis: cumulative weights, ratings,
+/// depths, and the tip set, kept equal to the from-scratch
+/// [`cumulative_weights`] / [`ratings`] / [`depths`] / `Tangle::tips` at
+/// all times (pinned by the differential property tests).
+///
+/// Appending transaction `t`:
+/// * adds one distinct approver to exactly the members of `t`'s past cone
+///   (weights `+1` over the cone, `t` itself starts at its own weight 1);
+/// * gives `t` a rating equal to its past-cone size and changes nobody
+///   else's rating (past cones of existing transactions are immutable);
+/// * can only *deepen* ancestors: depth is relaxed upward from `t` (depth
+///   0) and the propagation stops as soon as it no longer increases;
+/// * removes `t`'s parents from the tip set and inserts `t`.
+///
+/// One append therefore costs `O(|past cone|)` instead of the `O(V²/64)`
+/// batch DPs — the difference between quadratic and linear total work for
+/// a long-lived ledger (see the `analysis_cache` bench group).
+///
+/// Unlike [`IncrementalWeights`] the cache *validates* instead of
+/// trusting: [`AnalysisCache::on_add`] returns [`CacheError`] on skipped
+/// or out-of-order ids, and [`AnalysisCache::refresh`] checks the frontier
+/// signature so a shorter or diverged tangle (checkpoint restore, repair)
+/// triggers a counted rebuild rather than silently stale values.
+#[derive(Clone)]
+pub struct AnalysisCache {
+    weights: Vec<u32>,
+    ratings: Vec<u32>,
+    depths: Vec<u32>,
+    tips: BTreeSet<TxId>,
+    /// Signature of the newest tracked transaction (0 while genesis-only).
+    tail_sig: u64,
+    /// Stamped visited scratch for cone traversals (no per-append alloc).
+    visited: Vec<u32>,
+    stamp: u32,
+    /// Reusable DFS stacks.
+    cone_stack: Vec<TxId>,
+    depth_stack: Vec<(TxId, u32)>,
+}
+
+impl AnalysisCache {
+    /// Build a cache over an existing tangle (runs the batch DPs once).
+    pub fn new<P>(tangle: &Tangle<P>) -> Self {
+        let n = tangle.len();
+        let tail_sig = if n > 1 {
+            let last = tangle.get(TxId((n - 1) as u32));
+            tx_sig(last.id.0, &last.parents)
+        } else {
+            0
+        };
+        Self {
+            weights: cumulative_weights(tangle),
+            ratings: ratings(tangle),
+            depths: depths(tangle),
+            tips: tangle.tips().into_iter().collect(),
+            tail_sig,
+            visited: vec![0; n],
+            stamp: 0,
+            cone_stack: Vec::new(),
+            depth_stack: Vec::new(),
+        }
+    }
+
+    /// Transactions tracked by the cache.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Always `false`: a cache tracks at least the genesis.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Cumulative weights, aligned with transaction ids (equal to
+    /// [`cumulative_weights`]).
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// Ratings (past-cone sizes), equal to [`ratings`].
+    pub fn ratings(&self) -> &[u32] {
+        &self.ratings
+    }
+
+    /// Depths (longest approval path from any tip), equal to [`depths`].
+    pub fn depths(&self) -> &[u32] {
+        &self.depths
+    }
+
+    /// Current tips in ascending id order, equal to `Tangle::tips`.
+    pub fn tips(&self) -> Vec<TxId> {
+        self.tips.iter().copied().collect()
+    }
+
+    /// Snapshot the cached weights/ratings into a [`TangleAnalysis`]
+    /// (an `O(V)` copy instead of the `O(V²/64)` recompute).
+    pub fn analysis(&self) -> TangleAnalysis {
+        TangleAnalysis {
+            cumulative_weight: self.weights.clone(),
+            rating: self.ratings.clone(),
+        }
+    }
+
+    /// Check that `tangle` extends the history this cache tracks: it must
+    /// be at least as long, and its transaction at the cache frontier must
+    /// be the one the cache saw. A shorter or diverged tangle is an error
+    /// — never silently-stale values.
+    pub fn validate<P>(&self, tangle: &Tangle<P>) -> Result<(), CacheError> {
+        let n = self.len();
+        if tangle.len() < n {
+            return Err(CacheError::TangleTooShort {
+                cached: n,
+                tangle: tangle.len(),
+            });
+        }
+        if n > 1 {
+            let last = TxId((n - 1) as u32);
+            if tx_sig(last.0, &tangle.get(last).parents) != self.tail_sig {
+                return Err(CacheError::HistoryMismatch { at: last.0 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Record the transaction just appended. `id` must be exactly the next
+    /// transaction after the ones already tracked and must exist in
+    /// `tangle`; anything else returns a [`CacheError`] and leaves the
+    /// cache untouched.
+    pub fn on_add<P>(&mut self, tangle: &Tangle<P>, id: TxId) -> Result<(), CacheError> {
+        let n = self.len();
+        if id.index() != n {
+            return Err(CacheError::OutOfOrder {
+                expected: n as u32,
+                got: id.0,
+            });
+        }
+        if !tangle.contains(id) {
+            return Err(CacheError::TangleTooShort {
+                cached: n,
+                tangle: tangle.len(),
+            });
+        }
+        let tx = tangle.get(id);
+        // Past-cone traversal: every member gains one distinct approver
+        // (`id`), and the cone size is the new transaction's rating.
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Stamp wrapped: clear the scratch so stale marks cannot match.
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.stamp = 1;
+        }
+        let stamp = self.stamp;
+        self.visited.resize(n, 0);
+        let mut cone = 0u32;
+        self.cone_stack.extend_from_slice(&tx.parents);
+        while let Some(t) = self.cone_stack.pop() {
+            let i = t.index();
+            if self.visited[i] == stamp {
+                continue;
+            }
+            self.visited[i] = stamp;
+            cone += 1;
+            self.weights[i] += 1;
+            self.cone_stack.extend_from_slice(&tangle.get(t).parents);
+        }
+        self.weights.push(1); // own weight
+        self.ratings.push(cone);
+        self.depths.push(0); // a fresh transaction is a tip
+                             // Depth relaxation: the new tip can only deepen its ancestry, and
+                             // only along paths where the maximum actually increases.
+        for &p in &tx.parents {
+            self.depth_stack.push((p, 1));
+        }
+        while let Some((t, d)) = self.depth_stack.pop() {
+            let i = t.index();
+            if self.depths[i] >= d {
+                continue;
+            }
+            self.depths[i] = d;
+            for &q in &tangle.get(t).parents {
+                self.depth_stack.push((q, d + 1));
+            }
+        }
+        for &p in &tx.parents {
+            self.tips.remove(&p);
+        }
+        self.tips.insert(id);
+        self.tail_sig = tx_sig(id.0, &tx.parents);
+        Ok(())
+    }
+
+    /// Bring the cache up to date with `tangle`: validate, then apply the
+    /// appended suffix incrementally — or rebuild from scratch when the
+    /// tangle is shorter than, or diverged from, the cached history.
+    pub fn refresh<P>(&mut self, tangle: &Tangle<P>) -> RefreshOutcome {
+        if self.validate(tangle).is_err() {
+            *self = Self::new(tangle);
+            return RefreshOutcome::Rebuilt;
+        }
+        let missing = tangle.len() - self.len();
+        for i in self.len()..tangle.len() {
+            self.on_add(tangle, TxId(i as u32))
+                .expect("a validated extension appends in order");
+        }
+        if missing == 0 {
+            RefreshOutcome::Fresh
+        } else {
+            RefreshOutcome::Extended(missing)
+        }
+    }
+
+    /// Like [`Self::refresh`], additionally surfacing the outcome through
+    /// `telemetry`: `tangle.cache_hits` counts refreshes served from the
+    /// cache (fresh or incrementally extended, with appended transactions
+    /// under `tangle.cache_appends`), `tangle.cache_rebuilds` counts full
+    /// rebuilds. All counters are no-ops on a disabled handle (see the
+    /// `telemetry_overhead` bench).
+    pub fn refresh_observed<P>(
+        &mut self,
+        tangle: &Tangle<P>,
+        telemetry: &lt_telemetry::Telemetry,
+    ) -> RefreshOutcome {
+        let outcome = self.refresh(tangle);
+        match outcome {
+            RefreshOutcome::Rebuilt => telemetry.count("tangle.cache_rebuilds", 1),
+            RefreshOutcome::Fresh => telemetry.count("tangle.cache_hits", 1),
+            RefreshOutcome::Extended(n) => {
+                telemetry.count("tangle.cache_hits", 1);
+                telemetry.count("tangle.cache_appends", n as u64);
+            }
+        }
+        outcome
     }
 }
 
@@ -498,6 +827,137 @@ mod tests {
         let e = t.add(9, vec![tips[0], tips[1]]).unwrap();
         inc.on_add(&t, e);
         assert_eq!(inc.weights(), cumulative_weights(&t).as_slice());
+    }
+
+    #[test]
+    fn analysis_cache_tracks_all_batch_dps() {
+        let mut t = Tangle::new(0u8);
+        let mut cache = AnalysisCache::new(&t);
+        let g = t.genesis();
+        let a = t.add(1, vec![g]).unwrap();
+        cache.on_add(&t, a).unwrap();
+        let b = t.add(2, vec![g]).unwrap();
+        cache.on_add(&t, b).unwrap();
+        let c = t.add(3, vec![a, b]).unwrap();
+        cache.on_add(&t, c).unwrap();
+        let d = t.add(4, vec![c, b]).unwrap();
+        cache.on_add(&t, d).unwrap();
+        assert_eq!(cache.weights(), cumulative_weights(&t).as_slice());
+        assert_eq!(cache.ratings(), ratings(&t).as_slice());
+        assert_eq!(cache.depths(), depths(&t).as_slice());
+        assert_eq!(cache.tips(), t.tips());
+        assert!(cache.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn analysis_cache_snapshot_equals_fresh_analysis() {
+        let (t, _) = sample();
+        let cache = AnalysisCache::new(&t);
+        let fresh = TangleAnalysis::compute(&t);
+        let cached = cache.analysis();
+        assert_eq!(cached.cumulative_weight, fresh.cumulative_weight);
+        assert_eq!(cached.rating, fresh.rating);
+    }
+
+    #[test]
+    fn analysis_cache_rejects_out_of_order_adds() {
+        let mut t = Tangle::new(0u8);
+        let mut cache = AnalysisCache::new(&t);
+        let a = t.add(1, vec![t.genesis()]).unwrap();
+        let b = t.add(2, vec![a]).unwrap();
+        let before = (cache.weights().to_vec(), cache.tips());
+        assert_eq!(
+            cache.on_add(&t, b),
+            Err(CacheError::OutOfOrder {
+                expected: 1,
+                got: 2
+            })
+        );
+        // A rejected add leaves the cache untouched.
+        assert_eq!((cache.weights().to_vec(), cache.tips()), before);
+    }
+
+    #[test]
+    fn analysis_cache_rejects_missing_tx() {
+        let t = Tangle::new(0u8);
+        let mut cache = AnalysisCache::new(&t);
+        assert_eq!(
+            cache.on_add(&t, TxId(1)),
+            Err(CacheError::TangleTooShort {
+                cached: 1,
+                tangle: 1
+            })
+        );
+    }
+
+    #[test]
+    fn analysis_cache_refresh_catches_up_incrementally() {
+        let (mut t, _) = sample();
+        let mut cache = AnalysisCache::new(&t);
+        assert_eq!(cache.refresh(&t), RefreshOutcome::Fresh);
+        let tips = t.tips();
+        t.add(9, vec![tips[0], tips[1]]).unwrap();
+        t.add(10, vec![t.tips()[0]]).unwrap();
+        assert_eq!(cache.refresh(&t), RefreshOutcome::Extended(2));
+        assert_eq!(cache.weights(), cumulative_weights(&t).as_slice());
+        assert_eq!(cache.ratings(), ratings(&t).as_slice());
+        assert_eq!(cache.depths(), depths(&t).as_slice());
+        assert_eq!(cache.tips(), t.tips());
+    }
+
+    #[test]
+    fn analysis_cache_rebuilds_on_shorter_tangle() {
+        let (t, _) = sample();
+        let cache = AnalysisCache::new(&t);
+        let shorter = Tangle::new(0u8);
+        assert_eq!(
+            cache.validate(&shorter),
+            Err(CacheError::TangleTooShort {
+                cached: 6,
+                tangle: 1
+            })
+        );
+        let mut cache = cache;
+        assert_eq!(cache.refresh(&shorter), RefreshOutcome::Rebuilt);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.weights(), cumulative_weights(&shorter).as_slice());
+    }
+
+    #[test]
+    fn analysis_cache_rebuilds_on_diverged_history() {
+        // Two same-length histories that differ in the last tx's parents:
+        // the frontier signature must catch the divergence.
+        let mut t1 = Tangle::new(0u8);
+        let g = t1.genesis();
+        let a = t1.add(1, vec![g]).unwrap();
+        let b = t1.add(2, vec![g]).unwrap();
+        let mut t2 = t1.clone();
+        t1.add(3, vec![a, b]).unwrap();
+        t2.add(3, vec![b]).unwrap();
+        let cache = AnalysisCache::new(&t1);
+        assert_eq!(
+            cache.validate(&t2),
+            Err(CacheError::HistoryMismatch { at: 3 })
+        );
+        let mut cache = cache;
+        assert_eq!(cache.refresh(&t2), RefreshOutcome::Rebuilt);
+        assert_eq!(cache.weights(), cumulative_weights(&t2).as_slice());
+        assert_eq!(cache.tips(), t2.tips());
+    }
+
+    #[test]
+    fn analysis_cache_observed_counts_hits_and_rebuilds() {
+        let tel = lt_telemetry::Telemetry::new(lt_telemetry::NoopSink);
+        let (mut t, _) = sample();
+        let mut cache = AnalysisCache::new(&t);
+        cache.refresh_observed(&t, &tel); // fresh -> hit
+        let tips = t.tips();
+        t.add(9, vec![tips[0]]).unwrap();
+        cache.refresh_observed(&t, &tel); // extended -> hit + append
+        cache.refresh_observed(&Tangle::new(0u8), &tel); // rebuild
+        assert_eq!(tel.counter_value("tangle.cache_hits"), 2);
+        assert_eq!(tel.counter_value("tangle.cache_rebuilds"), 1);
+        assert_eq!(tel.counter_value("tangle.cache_appends"), 1);
     }
 
     #[test]

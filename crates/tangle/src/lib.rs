@@ -43,6 +43,6 @@ pub mod graph;
 pub mod pow;
 pub mod walk;
 
-pub use analysis::{ConsensusView, TangleAnalysis};
+pub use analysis::{AnalysisCache, CacheError, ConsensusView, RefreshOutcome, TangleAnalysis};
 pub use bitset::BitSet;
 pub use graph::{Tangle, Transaction, TxError, TxId};

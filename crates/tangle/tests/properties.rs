@@ -147,6 +147,116 @@ proptest! {
         prop_assert_eq!(inc.weights(), batch.as_slice());
     }
 
+    /// Differential test of the tentpole cache: grow a random DAG one tx
+    /// at a time and, after *every* insertion, the cache's weights,
+    /// ratings, depths, and tips must equal the from-scratch batch DPs.
+    #[test]
+    fn analysis_cache_equals_batch_after_every_add(
+        script in prop::collection::vec((any::<u8>(), any::<u8>()), 0..40),
+    ) {
+        let mut t = Tangle::new(0u32);
+        let mut cache = tangle_ledger::AnalysisCache::new(&t);
+        for (i, &(a, b)) in script.iter().enumerate() {
+            let n = t.len() as u32;
+            let id = t
+                .add(i as u32 + 1, vec![TxId(a as u32 % n), TxId(b as u32 % n)])
+                .unwrap();
+            cache.on_add(&t, id).unwrap();
+            prop_assert_eq!(cache.weights().to_vec(), cumulative_weights(&t));
+            prop_assert_eq!(cache.ratings().to_vec(), ratings(&t));
+            prop_assert_eq!(cache.depths().to_vec(), depths(&t));
+            prop_assert_eq!(cache.tips(), t.tips());
+            prop_assert!(cache.validate(&t).is_ok());
+        }
+        let fresh = TangleAnalysis::compute(&t);
+        let cached = cache.analysis();
+        prop_assert_eq!(cached.cumulative_weight, fresh.cumulative_weight);
+        prop_assert_eq!(cached.rating, fresh.rating);
+    }
+
+    /// Refreshing in random-sized batches (the simulators' usage pattern:
+    /// several transactions land between two context builds) is equivalent
+    /// to per-add maintenance.
+    #[test]
+    fn analysis_cache_refresh_equals_batch(
+        script in prop::collection::vec((any::<u8>(), any::<u8>()), 0..40),
+        refresh_every in 1usize..7,
+    ) {
+        let mut t = Tangle::new(0u32);
+        let mut cache = tangle_ledger::AnalysisCache::new(&t);
+        for (i, &(a, b)) in script.iter().enumerate() {
+            let n = t.len() as u32;
+            t.add(i as u32 + 1, vec![TxId(a as u32 % n), TxId(b as u32 % n)])
+                .unwrap();
+            if i % refresh_every == 0 {
+                let appended = t.len() - cache.len();
+                let outcome = cache.refresh(&t);
+                if appended == 0 {
+                    prop_assert_eq!(outcome, tangle_ledger::RefreshOutcome::Fresh);
+                } else {
+                    prop_assert_eq!(outcome, tangle_ledger::RefreshOutcome::Extended(appended));
+                }
+            }
+        }
+        cache.refresh(&t);
+        prop_assert_eq!(cache.weights().to_vec(), cumulative_weights(&t));
+        prop_assert_eq!(cache.ratings().to_vec(), ratings(&t));
+        prop_assert_eq!(cache.depths().to_vec(), depths(&t));
+        prop_assert_eq!(cache.tips(), t.tips());
+    }
+
+    /// Cache invalidation: skipped or out-of-order ids are rejected with an
+    /// error (mirror of `incremental_weights_reject_skipped_adds`), leaving
+    /// the cache bit-identical to before the attempt.
+    #[test]
+    fn analysis_cache_rejects_skips_and_out_of_order(
+        script in prop::collection::vec((any::<u8>(), any::<u8>()), 2..40),
+        probe in any::<u8>(),
+    ) {
+        let t = tangle_from_script(&script);
+        let mut cache = tangle_ledger::AnalysisCache::new(&t.prefix(t.len() - 1));
+        let expected = (t.len() - 1) as u32;
+        // Any id other than the exactly-next one must be refused.
+        let wrong = probe as u32 % (t.len() as u32 + 8);
+        prop_assume!(wrong != expected);
+        let before = (cache.weights().to_vec(), cache.ratings().to_vec(), cache.depths().to_vec(), cache.tips());
+        let err = cache.on_add(&t, TxId(wrong)).unwrap_err();
+        match err {
+            tangle_ledger::CacheError::OutOfOrder { expected: e, got } => {
+                prop_assert_eq!(e, expected);
+                prop_assert_eq!(got, wrong);
+            }
+            other => prop_assert!(false, "unexpected error {:?}", other),
+        }
+        prop_assert_eq!(
+            (cache.weights().to_vec(), cache.ratings().to_vec(), cache.depths().to_vec(), cache.tips()),
+            before
+        );
+        // The exactly-next id is accepted and lands on the batch values.
+        cache.on_add(&t, TxId(expected)).unwrap();
+        prop_assert_eq!(cache.weights().to_vec(), cumulative_weights(&t));
+    }
+
+    /// Cache invalidation: a shorter or diverged tangle never yields stale
+    /// values — validate errors and refresh answers with a full rebuild
+    /// that matches the batch DPs on the *new* history.
+    #[test]
+    fn analysis_cache_never_serves_stale_history(
+        script in prop::collection::vec((any::<u8>(), any::<u8>()), 2..40),
+        cut in 1usize..40,
+    ) {
+        let t = tangle_from_script(&script);
+        let mut cache = tangle_ledger::AnalysisCache::new(&t);
+        let cut = cut.min(t.len() - 1);
+        let shorter = t.prefix(cut);
+        prop_assert!(cache.validate(&shorter).is_err());
+        prop_assert_eq!(cache.refresh(&shorter), tangle_ledger::RefreshOutcome::Rebuilt);
+        prop_assert_eq!(cache.weights().to_vec(), cumulative_weights(&shorter));
+        prop_assert_eq!(cache.ratings().to_vec(), ratings(&shorter));
+        prop_assert_eq!(cache.depths().to_vec(), depths(&shorter));
+        prop_assert_eq!(cache.tips(), shorter.tips());
+    }
+
     /// Reference choice returns distinct ids, at most n, ordered by score.
     #[test]
     fn choose_reference_is_sane(

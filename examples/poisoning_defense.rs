@@ -41,6 +41,7 @@ fn run(label: &str, defended: bool) {
         alpha: 0.5,
         confidence_mode: tangle_learning::learning::ConfidenceMode::WalkHit,
         accuracy_bias: 0.0,
+        parallel_walks: true,
     };
     let cfg = SimConfig {
         nodes_per_round: nodes,

@@ -46,6 +46,7 @@ fn cfg(defended: bool, seed: u64) -> SimConfig {
             tip_validation: defended,
             window: None,
             accuracy_bias: 0.0,
+            parallel_walks: true,
         },
         ..SimConfig::default()
     }
