@@ -1,0 +1,35 @@
+//! Shared test generators.
+//!
+//! The property suites of `tangle-ledger` and the facade crate both need
+//! arbitrary-but-valid tangles; this is the one copy of that generator.
+
+use tangle_ledger::{Tangle, TxId};
+
+/// Build a tangle from a compact script: entry `i` (zero-based) appends
+/// transaction `i + 1` whose two parents are `a` and `b` reduced modulo
+/// the current length, so any byte pair is a valid edge choice. Duplicate
+/// parents collapse (the ledger dedups), which deliberately also produces
+/// single-parent transactions.
+pub fn tangle_from_script(script: &[(u8, u8)]) -> Tangle<u32> {
+    let mut t = Tangle::new(0);
+    for (i, &(a, b)) in script.iter().enumerate() {
+        let n = t.len() as u32;
+        t.add(i as u32 + 1, vec![TxId(a as u32 % n), TxId(b as u32 % n)])
+            .unwrap();
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_respects_insertion_order() {
+        let t = tangle_from_script(&[(0, 0), (0, 1), (7, 2)]);
+        assert_eq!(t.len(), 4);
+        for tx in t.transactions().iter().skip(1) {
+            assert!(tx.parents.iter().all(|p| p.index() < tx.id.index()));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # lt-conformance — model-based conformance testing for the learning tangle
+//!
+//! The workspace has three executors of the same protocol: the round-based
+//! [`Simulation`](learning_tangle::Simulation), the asynchronous simulator
+//! ([`learning_tangle::async_sim`]), and the gossip network
+//! ([`tangle_gossip::learn::GossipLearning`]). They share the node logic
+//! but differ in everything around it — locking, snapshots, caches,
+//! message delivery, churn. This crate checks that they still agree on
+//! the *protocol*:
+//!
+//! * [`model`] — a pure in-memory **reference model**: naive,
+//!   independently written implementations of the ledger semantics
+//!   (weights, ratings, tips, depths, confirmation, reference selection)
+//!   over payload-free [`TxView`](tangle_ledger::TxView) structure, plus a
+//!   deterministic stub-trainer closed loop for protocol-level properties
+//!   that must not depend on real gradients.
+//! * [`schedule`] — seeded generation of arbitrary interleavings of node
+//!   activations, message-delivery windows, and crash/restart churn.
+//! * [`mod@explore`] — drives the real executors through equivalent schedules
+//!   and checks differential agreement plus standalone invariants;
+//!   [`explore::Mutation`] can inject a known bug (a stale-cache read) to
+//!   prove the harness catches it.
+//! * [`mod@shrink`] — delta-debugging minimization of failing schedules.
+//! * [`artifact`] — JSON repro artifacts (seed + shrunk schedule),
+//!   replayable via `lt-experiments conformance --replay <file>`.
+//! * [`gen`] — small shared generators (script-driven tangles) reused by
+//!   the property-test suites of `tangle-ledger` and the facade crate.
+
+pub mod artifact;
+pub mod explore;
+pub mod gen;
+pub mod model;
+pub mod schedule;
+pub mod shrink;
+
+pub use artifact::Artifact;
+pub use explore::{
+    check_replica_caches, check_schedule, explore, GossipChecker, Mutation, Violation,
+};
+pub use model::{ShadowCache, StructModel, StubSim};
+pub use schedule::{Op, Schedule};
+pub use shrink::shrink;

@@ -1,0 +1,162 @@
+//! Schedules: seeded interleavings of node activations, delivery windows,
+//! and churn, interpreted by every executor in [`mod@crate::explore`].
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use tinynn::rng::seeded;
+
+/// One scheduled event. The same op stream drives all executors; ops an
+/// executor has no analogue for (e.g. churn on the round simulator) are
+/// ignored by its interpretation, and ops that are invalid in the current
+/// state (crashing a peer that is already down) are skipped — tolerance
+/// that keeps every subsequence of a schedule a valid schedule, which is
+/// what makes shrinking simple.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// One node runs Algorithm 2 against its current view and publishes.
+    Activate {
+        /// Node / peer index (reduced modulo the population).
+        node: usize,
+    },
+    /// Let the network deliver in-flight messages for `ticks` time steps.
+    /// Round-based executors treat this as a round barrier.
+    Deliver {
+        /// Simulated time steps.
+        ticks: u64,
+    },
+    /// Crash a gossip peer (it stops receiving and cannot train).
+    Crash {
+        /// Peer index.
+        peer: usize,
+    },
+    /// Restart a crashed peer, empty or from its latest checkpoint.
+    Restart {
+        /// Peer index.
+        peer: usize,
+        /// Recover from the last checkpoint instead of a blank replica.
+        from_checkpoint: bool,
+    },
+}
+
+/// A seeded schedule over a fixed population.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Seed for every derived RNG stream (executors, datasets, networks).
+    pub seed: u64,
+    /// Population size (nodes == gossip peers).
+    pub nodes: usize,
+    /// The event stream.
+    pub ops: Vec<Op>,
+}
+
+impl Schedule {
+    /// Generate a random schedule of `len` ops: mostly activations,
+    /// interspersed delivery windows, and occasional crash/restart churn.
+    /// Every crashed peer is restarted by the end and the schedule closes
+    /// with a delivery window, so the network can always reconverge.
+    pub fn generate(seed: u64, nodes: usize, len: usize) -> Self {
+        assert!(nodes >= 2, "churn needs at least two peers");
+        let mut rng = seeded(seed);
+        let mut down: Vec<usize> = Vec::new();
+        let mut ops = Vec::with_capacity(len + nodes + 1);
+        for _ in 0..len {
+            let roll = rng.random_range(0..10u32);
+            let op = match roll {
+                0..=5 => Op::Activate {
+                    node: rng.random_range(0..nodes),
+                },
+                6..=7 => Op::Deliver {
+                    ticks: rng.random_range(1..=3u64),
+                },
+                8 if down.len() + 2 <= nodes => {
+                    // Keep at least two peers up so gossip stays alive.
+                    let up: Vec<usize> = (0..nodes).filter(|p| !down.contains(p)).collect();
+                    let peer = up[rng.random_range(0..up.len())];
+                    down.push(peer);
+                    Op::Crash { peer }
+                }
+                9 if !down.is_empty() => {
+                    let peer = down.swap_remove(rng.random_range(0..down.len()));
+                    Op::Restart {
+                        peer,
+                        from_checkpoint: rng.random_range(0..2u32) == 0,
+                    }
+                }
+                _ => Op::Activate {
+                    node: rng.random_range(0..nodes),
+                },
+            };
+            ops.push(op);
+        }
+        for peer in down {
+            ops.push(Op::Restart {
+                peer,
+                from_checkpoint: false,
+            });
+        }
+        ops.push(Op::Deliver { ticks: 4 });
+        Self { seed, nodes, ops }
+    }
+
+    /// The round-based interpretation: consecutive activations form one
+    /// round, `Deliver` acts as the round barrier, churn ops are invisible
+    /// (the round simulators have no network to crash). Empty rounds are
+    /// dropped.
+    pub fn rounds(&self) -> Vec<Vec<usize>> {
+        let mut rounds = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        for op in &self.ops {
+            match op {
+                Op::Activate { node } => current.push(node % self.nodes),
+                Op::Deliver { .. } => {
+                    if !current.is_empty() {
+                        rounds.push(std::mem::take(&mut current));
+                    }
+                }
+                Op::Crash { .. } | Op::Restart { .. } => {}
+            }
+        }
+        if !current.is_empty() {
+            rounds.push(current);
+        }
+        rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_closed() {
+        let a = Schedule::generate(42, 5, 20);
+        let b = Schedule::generate(42, 5, 20);
+        assert_eq!(a, b);
+        // Every crash has a later restart.
+        let mut down: Vec<usize> = Vec::new();
+        for op in &a.ops {
+            match *op {
+                Op::Crash { peer } => down.push(peer),
+                Op::Restart { peer, .. } => down.retain(|&p| p != peer),
+                _ => {}
+            }
+        }
+        assert!(down.is_empty(), "generated schedules restart everyone");
+    }
+
+    #[test]
+    fn rounds_group_at_delivery_barriers() {
+        let s = Schedule {
+            seed: 0,
+            nodes: 3,
+            ops: vec![
+                Op::Activate { node: 0 },
+                Op::Activate { node: 4 },
+                Op::Deliver { ticks: 1 },
+                Op::Crash { peer: 1 },
+                Op::Activate { node: 2 },
+            ],
+        };
+        assert_eq!(s.rounds(), vec![vec![0, 1], vec![2]]);
+    }
+}

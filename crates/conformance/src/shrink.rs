@@ -1,0 +1,79 @@
+//! Delta-debugging minimization of failing schedules.
+
+use crate::explore::{check_schedule, Mutation, Violation};
+use crate::schedule::Schedule;
+
+/// Minimize a failing schedule: repeatedly remove chunks of ops (halves
+/// down to single ops) while the *same invariant* keeps failing. The
+/// interpretation of every op is state-tolerant (see
+/// [`crate::schedule::Op`]), so any subsequence is a valid candidate.
+///
+/// `budget` bounds the number of candidate re-executions (each one runs
+/// all three executors); the best schedule found within the budget is
+/// returned together with the number of executions spent.
+pub fn shrink(
+    schedule: &Schedule,
+    violation: &Violation,
+    mutation: Mutation,
+    budget: usize,
+) -> (Schedule, usize) {
+    let mut best = schedule.clone();
+    let mut spent = 0usize;
+    let fails_same = |candidate: &Schedule, spent: &mut usize| -> bool {
+        *spent += 1;
+        matches!(check_schedule(candidate, mutation),
+                 Err(v) if v.invariant == violation.invariant)
+    };
+    let mut chunk = (best.ops.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < best.ops.len() && spent < budget {
+            let end = (start + chunk).min(best.ops.len());
+            let mut candidate = best.clone();
+            candidate.ops.drain(start..end);
+            if !candidate.ops.is_empty() && fails_same(&candidate, &mut spent) {
+                best = candidate;
+                progressed = true;
+                // Same position now holds the next chunk; don't advance.
+            } else {
+                start = end;
+            }
+        }
+        if spent >= budget {
+            break;
+        }
+        if !progressed {
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    (best, spent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Op;
+
+    #[test]
+    fn shrinking_never_invents_ops() {
+        // With Mutation::None and a healthy protocol nothing fails, so
+        // shrink must return the input untouched after one probe per
+        // chunk pass — exercised cheaply with a tiny schedule.
+        let s = Schedule {
+            seed: 3,
+            nodes: 2,
+            ops: vec![Op::Activate { node: 0 }, Op::Deliver { ticks: 1 }],
+        };
+        let v = Violation {
+            invariant: "never-fires".into(),
+            detail: String::new(),
+        };
+        let (out, spent) = shrink(&s, &v, Mutation::None, 8);
+        assert_eq!(out, s);
+        assert!(spent <= 8);
+    }
+}

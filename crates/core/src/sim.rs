@@ -220,6 +220,34 @@ impl<'a> Simulation<'a> {
             idx.swap(i, j);
         }
         idx.truncate(k);
+        self.run_round(round, idx)
+    }
+
+    /// Scriptable activation-order hook: run the next round activating
+    /// exactly `idx` (in that order) instead of the seeded Fisher–Yates
+    /// sample. Everything downstream of node selection — context seeds,
+    /// per-node RNG streams, the publish barrier, telemetry — is identical
+    /// to [`Self::round`], so a scripted run is bit-reproducible and can be
+    /// compared step-for-step against other executors driven through the
+    /// same schedule (the conformance harness's differential oracle).
+    ///
+    /// # Panics
+    /// Panics if `idx` is empty or names a node outside the population.
+    pub fn round_with_nodes(&mut self, idx: &[usize]) -> RoundStats {
+        assert!(!idx.is_empty(), "a round must activate at least one node");
+        assert!(
+            idx.iter().all(|&ni| ni < self.nodes.len()),
+            "scripted activation out of range"
+        );
+        self.round += 1;
+        let round = self.round;
+        self.run_round(round, idx.to_vec())
+    }
+
+    /// The body shared by [`Self::round`] and [`Self::round_with_nodes`]:
+    /// one full round over an already-chosen activation list.
+    fn run_round(&mut self, round: u64, idx: Vec<usize>) -> RoundStats {
+        let k = idx.len();
         // All sampled nodes run Algorithm 2. On an ideal network they share
         // one round context (everyone sees the end of the previous round);
         // under a NetworkModel each node reconstructs its own stale view.

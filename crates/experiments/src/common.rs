@@ -42,6 +42,14 @@ pub struct Opts {
     pub fault_seed: u64,
     /// Ticks between peer checkpoints (`--checkpoint-every=N`, 0 = off).
     pub checkpoint_every: u64,
+    /// Schedules to explore in the conformance harness (`--schedules=N`).
+    pub schedules: usize,
+    /// Replay a conformance repro artifact instead of exploring
+    /// (`--replay=PATH`).
+    pub replay: Option<PathBuf>,
+    /// Inject a documented bug into the conformance harness to prove it
+    /// is caught (`--mutate=stale-cache`).
+    pub mutate: Option<String>,
 }
 
 impl Opts {
@@ -57,6 +65,9 @@ impl Opts {
             churn: 4,
             fault_seed: 7,
             checkpoint_every: 64,
+            schedules: 256,
+            replay: None,
+            mutate: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -79,6 +90,12 @@ impl Opts {
                 opts.checkpoint_every = v
                     .parse()
                     .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+            } else if let Some(v) = a.strip_prefix("--schedules=") {
+                opts.schedules = v.parse().map_err(|e| format!("bad --schedules: {e}"))?;
+            } else if let Some(v) = a.strip_prefix("--replay=") {
+                opts.replay = Some(PathBuf::from(v));
+            } else if let Some(v) = a.strip_prefix("--mutate=") {
+                opts.mutate = Some(v.to_string());
             } else if let Some(v) = a.strip_prefix("--telemetry=") {
                 opts.telemetry = Some(PathBuf::from(v));
             } else if a == "--telemetry" {
@@ -87,6 +104,24 @@ impl Opts {
                     .get(i)
                     .ok_or_else(|| "missing path after --telemetry".to_string())?;
                 opts.telemetry = Some(PathBuf::from(v));
+            } else if matches!(
+                a.as_str(),
+                "--seed" | "--schedules" | "--replay" | "--mutate"
+            ) {
+                // Space-separated forms of the value flags above.
+                let key = a.clone();
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("missing value after {key}"))?;
+                match key.as_str() {
+                    "--seed" => opts.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                    "--schedules" => {
+                        opts.schedules = v.parse().map_err(|e| format!("bad --schedules: {e}"))?
+                    }
+                    "--replay" => opts.replay = Some(PathBuf::from(v)),
+                    _ => opts.mutate = Some(v.clone()),
+                }
             } else {
                 return Err(format!("unknown option {a}"));
             }

@@ -5,6 +5,7 @@
 //! lt-experiments <experiment> [--paper] [--seed=N] [--rounds=N] [--out=DIR]
 //!                [--telemetry <path.jsonl>] [--telemetry-timings]
 //!                [--churn=N] [--fault-seed=N] [--checkpoint-every=N]
+//!                [--schedules=N] [--replay=PATH] [--mutate=stale-cache]
 //!
 //! experiments:
 //!   table1   dataset characteristics and training parameters
@@ -20,6 +21,9 @@
 //!   churn    fault injection: accuracy/consistency vs crash-restart churn
 //!   linkability update-linkability attack vs DP noise (extension, §III-D)
 //!   ablate   design-choice ablations (defense, alpha, confidence, bias)
+//!   conformance model-based schedule exploration across the three
+//!            executors; shrinks failures to JSON repro artifacts and
+//!            replays them (--schedules / --replay / --mutate)
 //!   all      everything above, in order
 //! ```
 //!
@@ -30,6 +34,7 @@ mod ablate;
 mod attacks;
 mod churn;
 mod common;
+mod conformance;
 mod fig2;
 mod fig3;
 mod fig4;
@@ -44,7 +49,7 @@ use common::Opts;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: lt-experiments <table1|fig2|fig3|fig3a|fig3b|fig3c|fig4|table2|fig5|fig6|backdoor|gossipnet|churn|linkability|ablate|all> [--paper] [--seed=N] [--rounds=N] [--out=DIR] [--telemetry <path.jsonl>] [--telemetry-timings] [--churn=N] [--fault-seed=N] [--checkpoint-every=N]");
+        eprintln!("usage: lt-experiments <table1|fig2|fig3|fig3a|fig3b|fig3c|fig4|table2|fig5|fig6|backdoor|gossipnet|churn|linkability|ablate|conformance|all> [--paper] [--seed=N] [--rounds=N] [--out=DIR] [--telemetry <path.jsonl>] [--telemetry-timings] [--churn=N] [--fault-seed=N] [--checkpoint-every=N] [--schedules=N] [--replay=PATH] [--mutate=stale-cache]");
         std::process::exit(2);
     };
     let opts = match Opts::parse(&args[1..]) {
@@ -72,6 +77,7 @@ fn main() {
         "churn" => churn::run(&opts),
         "linkability" => linkability::run(&opts),
         "ablate" => ablate::run(&opts),
+        "conformance" => conformance::run(&opts),
         "all" => {
             table1::run(&opts);
             fig2::run(&opts);

@@ -191,3 +191,106 @@ fn different_fault_seed_perturbs_the_run() {
         "fault seed must steer the perturbations"
     );
 }
+
+/// The same churn scenario, stepped one activation at a time with the
+/// conformance invariant pass run over **every** intermediate network
+/// state: per-replica acyclicity, the orphan-buffer cap, `NetStats`
+/// monotonicity with eviction accounting across peer lifetimes, and the
+/// stale-cache differential (shadow + real analysis caches vs
+/// from-scratch DPs) on every replica.
+#[test]
+fn every_intermediate_churn_state_satisfies_conformance_invariants() {
+    use lt_conformance::{check_replica_caches, GossipChecker, Mutation, ShadowCache};
+    use tangle_gossip::peer::DEFAULT_ORPHAN_CAP;
+    use tangle_ledger::AnalysisCache;
+
+    let mut gl = GossipLearning::new(
+        data(6),
+        cfg(),
+        NetworkConfig {
+            topology: Topology::RandomRegular { degree: 3 },
+            latency: Latency { min: 1, max: 4 },
+            loss: 0.08,
+            seed: 17,
+            ..NetworkConfig::default()
+        },
+        build,
+    );
+    {
+        let net = gl.network_mut();
+        net.set_checkpointing(16, None);
+        net.install_faults(FaultPlan {
+            seed: 7,
+            drop: 0.02,
+            duplicate: 0.05,
+            corrupt: 0.05,
+            reorder_jitter: 2,
+            crashes: vec![
+                CrashEvent {
+                    peer: 2,
+                    at: 20,
+                    restart_at: Some(45),
+                    recovery: Recovery::FromCheckpoint,
+                },
+                CrashEvent {
+                    peer: 4,
+                    at: 50,
+                    restart_at: Some(70),
+                    recovery: Recovery::Empty,
+                },
+            ],
+        });
+    }
+
+    let n = gl.network().peers().len();
+    let mut checker = GossipChecker::new(gl.network(), DEFAULT_ORPHAN_CAP);
+    let mut shadows: Vec<ShadowCache> = (0..n).map(|_| ShadowCache::new()).collect();
+    let mut caches: Vec<AnalysisCache> = (0..n)
+        .map(|p| AnalysisCache::new(gl.network().peer(p).replica()))
+        .collect();
+
+    // `run(1)` in a loop consumes the same internal scheduling RNG stream
+    // as one `run(80)` call, so this is the exact scenario above, paused
+    // after every activation.
+    for step in 0..80usize {
+        gl.run(1);
+        checker
+            .check(gl.network(), step)
+            .unwrap_or_else(|v| panic!("step {step}: {v:?}"));
+        for p in 0..n {
+            check_replica_caches(
+                gl.network().peer(p).replica(),
+                &mut shadows[p],
+                &mut caches[p],
+                Mutation::None,
+                p,
+            )
+            .unwrap_or_else(|v| panic!("step {step}: {v:?}"));
+        }
+    }
+
+    assert!(gl.network_mut().repair_to_quiescence(64), "must quiesce");
+    assert!(gl.network().replicas_consistent());
+    checker
+        .check(gl.network(), usize::MAX)
+        .unwrap_or_else(|v| panic!("post-repair: {v:?}"));
+    let mut rebuilds = 0;
+    for p in 0..n {
+        check_replica_caches(
+            gl.network().peer(p).replica(),
+            &mut shadows[p],
+            &mut caches[p],
+            Mutation::None,
+            p,
+        )
+        .unwrap_or_else(|v| panic!("post-repair: {v:?}"));
+        rebuilds += shadows[p].rebuilds;
+    }
+    // Peer 4 rejoined empty: its replica shrank mid-run, which the shadow
+    // cache must have observed as a divergence and answered with a rebuild
+    // rather than serving stale prefix analyses.
+    assert!(
+        rebuilds >= 1,
+        "the empty restart must force at least one shadow-cache rebuild"
+    );
+}

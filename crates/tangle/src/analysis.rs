@@ -146,12 +146,12 @@ pub enum CacheError {
         /// Transactions in the presented tangle.
         tangle: usize,
     },
-    /// The transaction at the cache's frontier does not match what the
-    /// cache recorded when it advanced past it — the tangle is a
-    /// *different* history of the same length (e.g. a replica restored
-    /// from an older checkpoint and regrown along another branch).
+    /// The tangle's history up to the cache's frontier does not match
+    /// what the cache advanced over — it is a *different* history (e.g. a
+    /// replica restored from an older checkpoint and regrown along
+    /// another branch, possibly diverging only in its interior).
     HistoryMismatch {
-        /// Id at which the divergence was detected.
+        /// The cache frontier at which the divergence was detected.
         at: u32,
     },
 }
@@ -187,23 +187,6 @@ pub enum RefreshOutcome {
     Rebuilt,
 }
 
-/// Signature of one transaction's structural identity (id + parent set),
-/// used to detect diverged histories without storing them. SplitMix64-style
-/// avalanche fold — not cryptographic, but two replicas that restored from
-/// different checkpoints will not collide in practice.
-fn tx_sig(id: u32, parents: &[TxId]) -> u64 {
-    let mut h = 0x243F_6A88_85A3_08D3u64 ^ u64::from(id);
-    for p in parents {
-        let mut z = h
-            .wrapping_add(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(u64::from(p.0) << 1);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        h = z ^ (z >> 31);
-    }
-    h
-}
-
 /// Incrementally maintained tangle analysis: cumulative weights, ratings,
 /// depths, and the tip set, kept equal to the from-scratch
 /// [`cumulative_weights`] / [`ratings`] / [`depths`] / `Tangle::tips` at
@@ -224,17 +207,23 @@ fn tx_sig(id: u32, parents: &[TxId]) -> u64 {
 ///
 /// Unlike [`IncrementalWeights`] the cache *validates* instead of
 /// trusting: [`AnalysisCache::on_add`] returns [`CacheError`] on skipped
-/// or out-of-order ids, and [`AnalysisCache::refresh`] checks the frontier
-/// signature so a shorter or diverged tangle (checkpoint restore, repair)
-/// triggers a counted rebuild rather than silently stale values.
+/// or out-of-order ids, and [`AnalysisCache::refresh`] checks the chained
+/// whole-history signature so a shorter or diverged tangle (checkpoint
+/// restore, repair regrowth in a different order) triggers a counted
+/// rebuild rather than silently stale values.
 #[derive(Clone)]
 pub struct AnalysisCache {
     weights: Vec<u32>,
     ratings: Vec<u32>,
     depths: Vec<u32>,
     tips: BTreeSet<TxId>,
-    /// Signature of the newest tracked transaction (0 while genesis-only).
-    tail_sig: u64,
+    /// Chained signature of the *entire* tracked history (equal to
+    /// `Tangle::history_sig(self.len())` of the tangle it follows). A
+    /// tail-only signature would let a same-length history that diverges
+    /// in its interior — a gossip replica regrown in a different arrival
+    /// order after an empty restart — slip through validation; the
+    /// conformance harness's schedule exploration found exactly that.
+    hist_sig: u64,
     /// Stamped visited scratch for cone traversals (no per-append alloc).
     visited: Vec<u32>,
     stamp: u32,
@@ -247,18 +236,12 @@ impl AnalysisCache {
     /// Build a cache over an existing tangle (runs the batch DPs once).
     pub fn new<P>(tangle: &Tangle<P>) -> Self {
         let n = tangle.len();
-        let tail_sig = if n > 1 {
-            let last = tangle.get(TxId((n - 1) as u32));
-            tx_sig(last.id.0, &last.parents)
-        } else {
-            0
-        };
         Self {
             weights: cumulative_weights(tangle),
             ratings: ratings(tangle),
             depths: depths(tangle),
             tips: tangle.tips().into_iter().collect(),
-            tail_sig,
+            hist_sig: tangle.history_sig(n),
             visited: vec![0; n],
             stamp: 0,
             cone_stack: Vec::new(),
@@ -307,9 +290,11 @@ impl AnalysisCache {
     }
 
     /// Check that `tangle` extends the history this cache tracks: it must
-    /// be at least as long, and its transaction at the cache frontier must
-    /// be the one the cache saw. A shorter or diverged tangle is an error
-    /// — never silently-stale values.
+    /// be at least as long, and its first `self.len()` transactions must
+    /// be exactly the ones the cache advanced over (whole-history chained
+    /// signature, not just the frontier — an interior divergence of a
+    /// same-length replica must not slip through). A shorter or diverged
+    /// tangle is an error — never silently-stale values.
     pub fn validate<P>(&self, tangle: &Tangle<P>) -> Result<(), CacheError> {
         let n = self.len();
         if tangle.len() < n {
@@ -318,11 +303,8 @@ impl AnalysisCache {
                 tangle: tangle.len(),
             });
         }
-        if n > 1 {
-            let last = TxId((n - 1) as u32);
-            if tx_sig(last.0, &tangle.get(last).parents) != self.tail_sig {
-                return Err(CacheError::HistoryMismatch { at: last.0 });
-            }
+        if tangle.history_sig(n) != self.hist_sig {
+            return Err(CacheError::HistoryMismatch { at: (n - 1) as u32 });
         }
         Ok(())
     }
@@ -390,7 +372,7 @@ impl AnalysisCache {
             self.tips.remove(&p);
         }
         self.tips.insert(id);
-        self.tail_sig = tx_sig(id.0, &tx.parents);
+        self.hist_sig = crate::graph::chain_sig(self.hist_sig, id.0, &tx.parents);
         Ok(())
     }
 
@@ -943,6 +925,38 @@ mod tests {
         assert_eq!(cache.refresh(&t2), RefreshOutcome::Rebuilt);
         assert_eq!(cache.weights(), cumulative_weights(&t2).as_slice());
         assert_eq!(cache.tips(), t2.tips());
+    }
+
+    #[test]
+    fn analysis_cache_rebuilds_on_interior_divergence() {
+        // Same length AND same last-tx parents — the histories differ only
+        // in their interior (tx2's parents), exactly what a gossip replica
+        // looks like after an empty restart regrows it in a different
+        // arrival order. A tail-only frontier signature accepted this and
+        // served stale weights; found by conformance schedule exploration.
+        let mut t1 = Tangle::new(0u8);
+        let g = t1.genesis();
+        let a = t1.add(1, vec![g]).unwrap();
+        let b1 = t1.add(2, vec![g]).unwrap();
+        t1.add(3, vec![a, b1]).unwrap();
+        let mut t2 = Tangle::new(0u8);
+        let a2 = t2.add(1, vec![g]).unwrap();
+        let b2 = t2.add(2, vec![a2]).unwrap();
+        t2.add(3, vec![a2, b2]).unwrap();
+        assert_eq!(
+            t1.get(TxId(3)).parents,
+            t2.get(TxId(3)).parents,
+            "the frontier transactions must be indistinguishable"
+        );
+        let cache = AnalysisCache::new(&t1);
+        assert_eq!(
+            cache.validate(&t2),
+            Err(CacheError::HistoryMismatch { at: 3 })
+        );
+        let mut cache = cache;
+        assert_eq!(cache.refresh(&t2), RefreshOutcome::Rebuilt);
+        assert_eq!(cache.weights(), cumulative_weights(&t2).as_slice());
+        assert_eq!(cache.ratings(), ratings(&t2).as_slice());
     }
 
     #[test]

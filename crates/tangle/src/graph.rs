@@ -46,6 +46,54 @@ pub struct Transaction<P> {
     pub payload: P,
 }
 
+/// The payload-free structural identity of one transaction: everything
+/// that determines ledger semantics (id, issuer, round, parent edges) and
+/// nothing model-specific. Produced by [`Tangle::structure`]; ordinary
+/// `==` on two views (or view vectors) is the conformance harness's
+/// cross-executor comparison.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxView {
+    /// Transaction id (insertion index).
+    pub id: u32,
+    /// Issuing node (`u64::MAX` for the genesis).
+    pub issuer: u64,
+    /// Round / slot of publication.
+    pub round: u64,
+    /// Parent ids, sorted and deduplicated (as stored).
+    pub parents: Vec<u32>,
+}
+
+/// Signature of one transaction's structural identity (id + parent set),
+/// used to detect diverged histories without storing them. SplitMix64-style
+/// avalanche fold — not cryptographic, but two replicas that restored from
+/// different checkpoints will not collide in practice.
+pub(crate) fn tx_sig(id: u32, parents: &[TxId]) -> u64 {
+    let mut h = 0x243F_6A88_85A3_08D3u64 ^ u64::from(id);
+    for p in parents {
+        let mut z = h
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(p.0) << 1);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h = z ^ (z >> 31);
+    }
+    h
+}
+
+/// Fold one transaction's signature into a running whole-history
+/// signature: `chain_sig(sig(first k txs), tx_k)` = sig of the first
+/// `k + 1` txs. Two histories agree on a prefix iff their chained
+/// signatures at that length agree (modulo 64-bit collisions) — unlike a
+/// tail-only check, interior divergence cannot cancel out.
+pub(crate) fn chain_sig(prev: u64, id: u32, parents: &[TxId]) -> u64 {
+    let mut z = prev
+        .wrapping_add(tx_sig(id, parents))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Errors returned when appending to the tangle.
 #[derive(Debug, PartialEq, Eq)]
 pub enum TxError {
@@ -79,6 +127,10 @@ pub struct Tangle<P> {
     approvers: Vec<Vec<TxId>>,
     /// Current tips, kept sorted for determinism.
     tips: BTreeSet<TxId>,
+    /// `hist_sigs[i]` = chained signature of the first `i + 1`
+    /// transactions (see [`chain_sig`]); lets [`Tangle::history_sig`]
+    /// answer "is that cache's history a prefix of mine?" in O(1).
+    hist_sigs: Vec<u64>,
 }
 
 impl<P> Tangle<P> {
@@ -98,6 +150,7 @@ impl<P> Tangle<P> {
             txs: vec![genesis],
             approvers: vec![Vec::new()],
             tips,
+            hist_sigs: vec![chain_sig(0, 0, &[])],
         }
     }
 
@@ -190,6 +243,8 @@ impl<P> Tangle<P> {
             self.tips.remove(&p);
         }
         self.tips.insert(id);
+        self.hist_sigs
+            .push(chain_sig(*self.hist_sigs.last().unwrap(), id.0, &parents));
         self.txs.push(Transaction {
             id,
             parents,
@@ -270,7 +325,44 @@ impl<P> Tangle<P> {
             txs,
             approvers,
             tips,
+            hist_sigs: self.hist_sigs[..len].to_vec(),
         }
+    }
+
+    /// Chained signature of this ledger's first `len` transactions. Two
+    /// tangles agree on their first `len` transactions (ids + parent
+    /// edges) iff their signatures at `len` agree — the O(1) staleness
+    /// check behind `AnalysisCache::validate`.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero or exceeds the current length.
+    pub fn history_sig(&self, len: usize) -> u64 {
+        assert!(
+            len >= 1 && len <= self.txs.len(),
+            "history length {len} out of range 1..={}",
+            self.txs.len()
+        );
+        self.hist_sigs[len - 1]
+    }
+
+    /// The payload-free structural identity of this ledger: one
+    /// [`TxView`] per transaction, in insertion (= topological) order.
+    ///
+    /// Two ledgers with equal views hold the same history regardless of
+    /// payload type or how they were produced — this is the comparison
+    /// key the conformance harness uses to check differential agreement
+    /// between executors, and the input format of its abstract reference
+    /// model (which replays structure without payloads).
+    pub fn structure(&self) -> Vec<TxView> {
+        self.txs
+            .iter()
+            .map(|t| TxView {
+                id: t.id.0,
+                issuer: t.issuer,
+                round: t.round,
+                parents: t.parents.iter().map(|p| p.0).collect(),
+            })
+            .collect()
     }
 
     /// Map payloads, preserving structure (useful for serialization).
@@ -289,6 +381,7 @@ impl<P> Tangle<P> {
                 .collect(),
             approvers: self.approvers.clone(),
             tips: self.tips.clone(),
+            hist_sigs: self.hist_sigs.clone(),
         }
     }
 }

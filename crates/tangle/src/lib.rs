@@ -45,4 +45,4 @@ pub mod walk;
 
 pub use analysis::{AnalysisCache, CacheError, ConsensusView, RefreshOutcome, TangleAnalysis};
 pub use bitset::BitSet;
-pub use graph::{Tangle, Transaction, TxError, TxId};
+pub use graph::{Tangle, Transaction, TxError, TxId, TxView};

@@ -6,15 +6,7 @@ use tangle_ledger::analysis::{cumulative_weights, depths, ratings, TangleAnalysi
 use tangle_ledger::walk::{RandomWalk, TipSelector, UniformTips, WindowedWalk};
 use tangle_ledger::{Tangle, TxId};
 
-fn tangle_from_script(script: &[(u8, u8)]) -> Tangle<u32> {
-    let mut t = Tangle::new(0);
-    for (i, &(a, b)) in script.iter().enumerate() {
-        let n = t.len() as u32;
-        t.add(i as u32 + 1, vec![TxId(a as u32 % n), TxId(b as u32 % n)])
-            .unwrap();
-    }
-    t
-}
+use lt_conformance::gen::tangle_from_script;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

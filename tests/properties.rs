@@ -2,22 +2,10 @@
 
 use proptest::prelude::*;
 use tangle_learning::ledger::analysis::{cumulative_weights, ratings, ConsensusView, TxClass};
-use tangle_learning::ledger::{BitSet, Tangle, TxId};
+use tangle_learning::ledger::{BitSet, TxId};
 use tangle_learning::nn::ParamVec;
 
-/// Build a tangle from an arbitrary parent-choice script: element `i` of
-/// `script` selects the parents of transaction `i+1` among the
-/// transactions existing at that point.
-fn tangle_from_script(script: &[(u8, u8)]) -> Tangle<u32> {
-    let mut t = Tangle::new(0);
-    for (i, &(a, b)) in script.iter().enumerate() {
-        let n = t.len() as u32;
-        let pa = TxId(a as u32 % n);
-        let pb = TxId(b as u32 % n);
-        t.add(i as u32 + 1, vec![pa, pb]).unwrap();
-    }
-    t
-}
+use lt_conformance::gen::tangle_from_script;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
