@@ -125,6 +125,159 @@ fn bench_analysis_cache(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for n in [64usize, 128] {
+        let a = Tensor::from_fn(&[n, n], |i| ((i * 37 % 101) as f32) / 101.0);
+        let bm = Tensor::from_fn(&[n, n], |i| ((i * 53 % 89) as f32) / 89.0);
+        g.bench_function(format!("matmul_{n}x{n}"), |b| {
+            b.iter(|| black_box(a.matmul(&bm)))
+        });
+        g.bench_function(format!("matmul_bt_{n}x{n}"), |b| {
+            b.iter(|| black_box(a.matmul_bt(&bm)))
+        });
+    }
+    g.finish();
+}
+
+/// Shared setup for the node-step / eval-cache workloads: a 50-node blobs
+/// federation learning over the tangle with tip validation on.
+fn eval_workload_cfg() -> learning_tangle::SimConfig {
+    learning_tangle::SimConfig {
+        nodes_per_round: 5,
+        lr: 0.15,
+        local_epochs: 1,
+        batch_size: 8,
+        eval_fraction: 0.2,
+        seed: 9,
+        hyper: learning_tangle::TangleHyperParams {
+            sample_size: 6,
+            confidence_samples: 4,
+            tip_validation: true,
+            accuracy_bias: 0.5,
+            ..learning_tangle::TangleHyperParams::basic()
+        },
+        network: None,
+    }
+}
+
+fn eval_workload_data() -> feddata::FederatedDataset {
+    feddata::blobs::generate(
+        &feddata::blobs::BlobsConfig {
+            users: 50,
+            samples_per_user: (24, 32),
+            // Validation-heavy split: local evaluation is the hot path this
+            // workload measures, mirroring §III-E where tip validation on
+            // held-out data dominates node cost.
+            train_split: 0.3,
+            noise_std: 0.6,
+            ..feddata::blobs::BlobsConfig::default()
+        },
+        41,
+    )
+}
+
+fn bench_node_step(c: &mut Criterion) {
+    use learning_tangle::node::{node_step, RoundContext};
+    let mut g = c.benchmark_group("node_step");
+    g.sample_size(10);
+    let data = eval_workload_data();
+    let cfg = eval_workload_cfg();
+    let build = || tinynn::zoo::mlp(8, &[12], 4, &mut seeded(5));
+    // Grow a representative tangle, then time single node steps against a
+    // fixed round context.
+    let mut sim = learning_tangle::Simulation::new(data.clone(), cfg.clone(), build);
+    for _ in 0..30 {
+        sim.round();
+    }
+    let nodes: Vec<learning_tangle::Node> = data
+        .clients
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| learning_tangle::Node::honest(i, c))
+        .collect();
+    let ctx = RoundContext::build(sim.tangle(), &cfg, 31, 0xBEEF);
+    g.bench_function("honest_step_tip_validation", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = seeded(i);
+            black_box(node_step(
+                &nodes[(i % 50) as usize],
+                &ctx,
+                &build,
+                &cfg,
+                &mut rng,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_eval_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eval_cache");
+    g.sample_size(3);
+    let data = eval_workload_data();
+    let cfg = eval_workload_cfg();
+    let build = || tinynn::zoo::mlp(8, &[12], 4, &mut seeded(5));
+    const ROUNDS: usize = 100;
+    let run = |cached: bool| {
+        let tel = lt_telemetry::Telemetry::new(lt_telemetry::NoopSink);
+        let mut sim = learning_tangle::Simulation::new(data.clone(), cfg.clone(), build)
+            .with_eval_cache(cached)
+            .with_telemetry(tel.clone());
+        let stats: Vec<learning_tangle::RoundStats> = (0..ROUNDS).map(|_| sim.round()).collect();
+        (stats, sim.evaluate(0).accuracy, tel)
+    };
+    // Equivalence: the memoized run must be byte-identical to the plain
+    // one — same RoundStats, same consensus accuracy — while actually
+    // serving from the cache.
+    let (stats_on, acc_on, tel_on) = run(true);
+    let (stats_off, acc_off, tel_off) = run(false);
+    assert_eq!(stats_on, stats_off, "RoundStats must match cache on/off");
+    assert_eq!(
+        acc_on.to_bits(),
+        acc_off.to_bits(),
+        "accuracy must be bit-identical cache on/off"
+    );
+    assert!(
+        tel_on.counter_value("eval_cache.hits") > 0,
+        "the cached run must hit"
+    );
+    assert_eq!(tel_off.counter_value("eval_cache.hits"), 0);
+    g.bench_function(format!("sim_{ROUNDS}r_50n_cached"), |b| {
+        b.iter(|| black_box(run(true).1))
+    });
+    g.bench_function(format!("sim_{ROUNDS}r_50n_uncached"), |b| {
+        b.iter(|| black_box(run(false).1))
+    });
+    // Pin the speedup: median of 3 full runs each way must show the
+    // memoized path >=3x faster on this 50-node / 100-round workload.
+    let median = |f: &mut dyn FnMut()| {
+        let mut samples: Vec<_> = (0..3)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                f();
+                start.elapsed()
+            })
+            .collect();
+        samples.sort();
+        samples[1]
+    };
+    let cached = median(&mut || {
+        black_box(run(true).1);
+    });
+    let uncached = median(&mut || {
+        black_box(run(false).1);
+    });
+    assert!(
+        cached * 3 <= uncached,
+        "eval cache must be >=3x faster on the 50-node/{ROUNDS}-round \
+         tip-validation workload: cached {cached:?} vs uncached {uncached:?}"
+    );
+    g.finish();
+}
+
 fn bench_param_aggregation(c: &mut Criterion) {
     let mut g = c.benchmark_group("param_aggregation");
     for dim in [10_000usize, 100_000] {
@@ -368,8 +521,11 @@ fn bench_dataset_generation(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_gemm,
     bench_tangle_analysis,
     bench_analysis_cache,
+    bench_node_step,
+    bench_eval_cache,
     bench_param_aggregation,
     bench_wire_codec,
     bench_telemetry_overhead,

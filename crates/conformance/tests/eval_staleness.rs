@@ -1,0 +1,145 @@
+//! Property test: the memoized evaluation cache never serves a stale
+//! loss, no matter how the backing history evolves.
+//!
+//! The real evaluation in `node_step` is a pure function of the probe key
+//! and the history prefix the transaction closes over — the pair the
+//! cache stores its entries under (`tx_key`, `Tangle::history_sig`). This
+//! suite models that contract directly: an oracle value derived from
+//! `(key, sig)` stands in for the loss, a scripted schedule drives
+//! appends, a mid-run divergence (the gossip crash/restore path, where a
+//! regrown replica shares only a prefix with its predecessor), and a
+//! post-restore regrowth. The invariant under test: **every cache hit
+//! returns exactly the oracle value of the *current* tangle** — a served
+//! entry written under a replaced history is a staleness bug, and probes
+//! against diverged suffixes must instead surface as counted
+//! invalidations.
+
+use learning_tangle::{tx_key, EvalCache};
+use lt_conformance::gen::tangle_from_script;
+use lt_telemetry::{MemorySink, Telemetry};
+use proptest::prelude::*;
+use std::sync::Arc;
+use tangle_ledger::{Tangle, TxId};
+
+/// Stand-in for the pure evaluation: any deterministic function of the
+/// probe key and the history signature works, because that pair is
+/// exactly what the real `honest_step` keys its memoization on.
+fn oracle(key: u64, sig: u64) -> (f32, f32) {
+    let mut z = key ^ sig.rotate_left(17);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    ((z as u32) as f32 / u32::MAX as f32, (z >> 32) as f32)
+}
+
+/// Probe every transaction of `tangle`, asserting that any hit equals the
+/// oracle under the *current* signature, then backfill misses. Returns
+/// how many probes hit.
+fn probe_all(cache: &mut EvalCache, tangle: &Tangle<u32>, tel: &Telemetry) -> u64 {
+    let mut hits = 0;
+    for i in 0..tangle.len() {
+        let key = tx_key(TxId(i as u32), 0);
+        let sig = tangle.history_sig(i + 1);
+        match cache.get(key, sig, tel) {
+            Some(got) => {
+                hits += 1;
+                let want = oracle(key, sig);
+                assert_eq!(
+                    (got.0.to_bits(), got.1.to_bits()),
+                    (want.0.to_bits(), want.1.to_bits()),
+                    "stale cached loss served for tx {i}"
+                );
+            }
+            None => {
+                let (loss, acc) = oracle(key, sig);
+                cache.insert(key, sig, loss, acc, tel);
+            }
+        }
+    }
+    hits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Append/diverge/restore schedules never yield a stale cached loss:
+    /// a warm cache carried across a history replacement either hits with
+    /// the value the *new* history demands or invalidates — and always
+    /// serves the full shared prefix.
+    #[test]
+    fn diverge_restore_never_serves_stale(
+        prefix in prop::collection::vec((any::<u8>(), any::<u8>()), 1..24),
+        suffix_a in prop::collection::vec((any::<u8>(), any::<u8>()), 1..16),
+        suffix_b in prop::collection::vec((any::<u8>(), any::<u8>()), 0..16),
+        regrow in prop::collection::vec((any::<u8>(), any::<u8>()), 0..12),
+    ) {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::new(sink);
+        let mut cache = EvalCache::new(4096);
+
+        // Original history: shared prefix + suffix A.
+        let mut script_a = prefix.clone();
+        script_a.extend_from_slice(&suffix_a);
+        let before = tangle_from_script(&script_a);
+        probe_all(&mut cache, &before, &tel);
+        // Warm cache: immediate re-probe hits everywhere.
+        let warm = probe_all(&mut cache, &before, &tel);
+        prop_assert_eq!(warm as usize, before.len());
+
+        // Crash/restore: the replica is regrown from the shared prefix
+        // with a different suffix, then extends further. The cache is
+        // deliberately carried across the replacement — signature checks
+        // alone must keep it truthful.
+        let mut script_b = prefix.clone();
+        script_b.extend_from_slice(&suffix_b);
+        script_b.extend_from_slice(&regrow);
+        let after = tangle_from_script(&script_b);
+        let inval_before = tel.counter_value("eval_cache.invalidations");
+        let hits = probe_all(&mut cache, &after, &tel);
+
+        // The shared prefix (genesis + prefix script) has identical
+        // structure in both histories, so its signatures match and the
+        // warm entries must all serve.
+        prop_assert!(
+            hits as usize > prefix.len(),
+            "shared prefix (genesis + {} entries) must survive the restore, got {} hits",
+            prefix.len(),
+            hits
+        );
+        // Any probe against a structurally diverged suffix entry must
+        // have been dropped as an invalidation, never served.
+        let diverged = after
+            .len()
+            .min(before.len())
+            .saturating_sub(hits as usize);
+        let inval = tel.counter_value("eval_cache.invalidations") - inval_before;
+        prop_assert_eq!(
+            inval as usize, diverged,
+            "every overlapping diverged entry is an invalidation"
+        );
+
+        // Post-restore appends behave like a fresh history: a second pass
+        // over the regrown tangle hits everywhere with the new values.
+        let rewarmed = probe_all(&mut cache, &after, &tel);
+        prop_assert_eq!(rewarmed as usize, after.len());
+
+        // And an explicit wholesale drop (the gossip restart path) leaves
+        // nothing behind to serve.
+        cache.invalidate_all(&tel);
+        prop_assert!(cache.is_empty());
+        let cold = {
+            let mut n = 0;
+            for i in 0..after.len() {
+                let key = tx_key(TxId(i as u32), 0);
+                if cache
+                    .get(key, after.history_sig(i + 1), &tel)
+                    .is_some()
+                {
+                    n += 1;
+                }
+            }
+            n
+        };
+        prop_assert_eq!(cold, 0, "invalidate_all must empty the cache");
+    }
+}

@@ -6,9 +6,7 @@
 //! and the two must agree: no malicious transaction's tip-approval
 //! fraction reaches the confirmation threshold in either.
 
-use learning_tangle::{
-    assign_malicious, AttackKind, SimConfig, Simulation, TangleHyperParams,
-};
+use learning_tangle::{assign_malicious, AttackKind, SimConfig, Simulation, TangleHyperParams};
 use lt_conformance::{Schedule, StructModel, StubSim};
 use tangle_ledger::analysis::TangleAnalysis;
 use tangle_ledger::walk::RandomWalk;

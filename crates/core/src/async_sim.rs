@@ -9,8 +9,9 @@
 //! real network participants.
 
 use crate::config::SimConfig;
+use crate::eval_cache::{EvalCache, ScratchPool, DEFAULT_EVAL_CACHE_CAPACITY};
 use crate::node::RoundContext;
-use crate::node::{node_step, ModelParams, Node};
+use crate::node::{node_step_pooled, ModelParams, Node};
 use crossbeam::channel;
 use parking_lot::RwLock;
 use rand::RngExt;
@@ -58,6 +59,25 @@ pub struct WorkerFaultPlan {
     /// fresh RNG stream. Local steps start at 1 and keep counting across
     /// respawns, so a pair can fire at most once.
     pub kills: Vec<(usize, u64)>,
+}
+
+/// Performance knobs for the asynchronous executor. Every setting is a
+/// pure optimization: toggling it changes cost, never observable results.
+#[derive(Clone, Copy, Debug)]
+pub struct AsyncTuning {
+    /// Memoize node evaluations (per worker, per node) across steps.
+    pub eval_cache: bool,
+    /// Capacity of each evaluation cache.
+    pub eval_cache_cap: usize,
+}
+
+impl Default for AsyncTuning {
+    fn default() -> Self {
+        Self {
+            eval_cache: true,
+            eval_cache_cap: DEFAULT_EVAL_CACHE_CAPACITY,
+        }
+    }
 }
 
 /// Run `workers` concurrent participants until the ledger holds at least
@@ -120,8 +140,37 @@ pub fn run_async_faulty(
     telemetry: lt_telemetry::Telemetry,
     faults: &WorkerFaultPlan,
 ) -> AsyncRun {
+    run_async_faulty_tuned(
+        nodes,
+        cfg,
+        build,
+        workers,
+        target_transactions,
+        telemetry,
+        faults,
+        &AsyncTuning::default(),
+    )
+}
+
+/// Like [`run_async_faulty`], with explicit [`AsyncTuning`]. With
+/// `workers == 1` the run is bit-identical for any tuning — the
+/// differential tests pin this.
+#[allow(clippy::too_many_arguments)]
+pub fn run_async_faulty_tuned(
+    nodes: &[Node],
+    cfg: &SimConfig,
+    build: impl Fn() -> Sequential + Sync,
+    workers: usize,
+    target_transactions: usize,
+    telemetry: lt_telemetry::Telemetry,
+    faults: &WorkerFaultPlan,
+    tuning: &AsyncTuning,
+) -> AsyncRun {
     assert!(workers >= 1, "need at least one worker");
     let genesis = Arc::new(ParamVec::from_model(&build()));
+    // One scratch-model pool shared by all workers; params are fully
+    // assigned before every use so sharing is invisible.
+    let scratch = ScratchPool::new(Box::new(&build));
     let ledger = RwLock::new(Tangle::new(genesis));
     let done = AtomicBool::new(false);
     let (tx_events, rx_events) = channel::unbounded::<PublishEvent>();
@@ -132,7 +181,7 @@ pub fn run_async_faulty(
         for w in 0..workers {
             let ledger = &ledger;
             let done = &done;
-            let build = &build;
+            let scratch = &scratch;
             let tx_events = tx_events.clone();
             let tx_disc = tx_disc.clone();
             let tx_kill = tx_kill.clone();
@@ -142,7 +191,17 @@ pub fn run_async_faulty(
                 // Worker-local analysis cache: snapshots of the append-only
                 // ledger only ever extend each other, so every step is an
                 // incremental catch-up (kills don't invalidate it either).
-                let mut cache = tangle_ledger::AnalysisCache::new(&ledger.read());
+                let mut cache = tangle_ledger::AnalysisCache::new(&*ledger.read());
+                // Worker-local eval memoization, one cache per *node*
+                // (losses depend on the node's own held-out data, so
+                // caches can never be shared across nodes). Snapshots of
+                // the append-only ledger share one signature chain, so
+                // entries stay valid across snapshots and worker kills.
+                let mut eval: Option<Vec<EvalCache>> = tuning.eval_cache.then(|| {
+                    (0..nodes.len())
+                        .map(|_| EvalCache::new(tuning.eval_cache_cap))
+                        .collect()
+                });
                 let mut generation = 0u64;
                 let mut step = 0u64;
                 while !done.load(Ordering::Relaxed) {
@@ -164,7 +223,14 @@ pub fn run_async_faulty(
                         cfg.seed,
                         ((w as u64) << 48) ^ (step << 8) ^ ni as u64,
                     ));
-                    let out = node_step(&nodes[ni], &ctx, build, cfg, &mut node_rng);
+                    let out = node_step_pooled(
+                        &nodes[ni],
+                        &ctx,
+                        scratch,
+                        cfg,
+                        &mut node_rng,
+                        eval.as_mut().map(|caches| &mut caches[ni]),
+                    );
                     if faults.kills.iter().any(|&(kw, ks)| kw == w && ks == step) {
                         // The worker dies with its finished step in hand:
                         // the work is lost, the worker respawns on a new
@@ -268,8 +334,12 @@ pub fn run_async_scripted(
 ) -> (AsyncRun, Vec<crate::sim::RoundStats>) {
     use lt_telemetry::{Event, ReferenceEntry, RoundEvent, StepEvent};
     let genesis = Arc::new(ParamVec::from_model(&build()));
+    let scratch = ScratchPool::new(Box::new(&build));
     let ledger = RwLock::new(Tangle::new(genesis));
-    let mut cache = tangle_ledger::AnalysisCache::new(&ledger.read());
+    let mut cache = tangle_ledger::AnalysisCache::new(&*ledger.read());
+    let mut eval: Vec<EvalCache> = (0..nodes.len())
+        .map(|_| EvalCache::new(DEFAULT_EVAL_CACHE_CAPACITY))
+        .collect();
     let mut events: Vec<PublishEvent> = Vec::new();
     let mut discarded = 0usize;
     let mut stats = Vec::with_capacity(script.len());
@@ -300,7 +370,15 @@ pub fn run_async_scripted(
             idx.iter()
                 .map(|&ni| {
                     let mut node_rng = seeded(derive(cfg.seed, (round << 24) ^ ni as u64));
-                    (ni, node_step(&nodes[ni], &ctx, &build, cfg, &mut node_rng))
+                    let out = node_step_pooled(
+                        &nodes[ni],
+                        &ctx,
+                        &scratch,
+                        cfg,
+                        &mut node_rng,
+                        Some(&mut eval[ni]),
+                    );
+                    (ni, out)
                 })
                 .collect()
         });
@@ -472,6 +550,69 @@ mod tests {
         let run = run_async(&ns, &cfg(), build, 2, 10);
         // genesis + events = ledger size (no other writer exists)
         assert_eq!(run.events.len() + 1, run.tangle.len());
+    }
+
+    #[test]
+    fn eval_cache_on_and_off_are_bit_identical_single_worker() {
+        // With one worker the async run is fully deterministic, so the
+        // eval cache must be invisible: same ledger structure, same commit
+        // order, byte-identical telemetry JSONL (eval_cache.* counters
+        // never reach the event stream).
+        let ns = nodes();
+        let mut c = cfg();
+        c.hyper.tip_validation = true;
+        c.hyper.sample_size = 6;
+        // The bias path probes every transaction per step, so a node's
+        // second activation is guaranteed to hit its cache.
+        c.hyper.accuracy_bias = 0.5;
+        let dir = std::env::temp_dir();
+        let run = |eval: bool, path: &std::path::Path| {
+            let sink = lt_telemetry::JsonlSink::create(path).expect("create jsonl");
+            let tel = lt_telemetry::Telemetry::new(sink);
+            let out = run_async_faulty_tuned(
+                &ns,
+                &c,
+                build,
+                1,
+                14,
+                tel.clone(),
+                &WorkerFaultPlan::default(),
+                &AsyncTuning {
+                    eval_cache: eval,
+                    ..AsyncTuning::default()
+                },
+            );
+            if eval {
+                assert!(
+                    tel.counter_value("eval_cache.hits") > 0,
+                    "the memoized run must serve hits"
+                );
+            } else {
+                assert_eq!(tel.counter_value("eval_cache.hits"), 0);
+            }
+            let structure: Vec<(u64, Vec<u32>)> = out
+                .tangle
+                .transactions()
+                .iter()
+                .map(|tx| {
+                    (
+                        tx.issuer,
+                        tx.parents.iter().map(|p| p.index() as u32).collect(),
+                    )
+                })
+                .collect();
+            let order: Vec<(usize, usize)> =
+                out.events.iter().map(|e| (e.node, e.tangle_len)).collect();
+            let bytes = std::fs::read(path).expect("read jsonl");
+            let _ = std::fs::remove_file(path);
+            (structure, order, bytes)
+        };
+        let on = run(true, &dir.join("lt_async_eval_on.jsonl"));
+        let off = run(false, &dir.join("lt_async_eval_off.jsonl"));
+        assert_eq!(on.0, off.0, "ledger structure must match");
+        assert_eq!(on.1, off.1, "commit order must match");
+        assert!(!on.2.is_empty());
+        assert_eq!(on.2, off.2, "telemetry JSONL must be byte-identical");
     }
 
     #[test]

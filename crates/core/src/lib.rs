@@ -34,6 +34,7 @@ pub mod attack;
 pub mod cluster;
 pub mod config;
 pub mod dp;
+pub mod eval_cache;
 pub mod metrics;
 pub mod node;
 pub mod persist;
@@ -42,6 +43,7 @@ pub mod sim;
 
 pub use attack::{assign_malicious, AttackKind};
 pub use config::{ConfidenceMode, NetworkModel, SimConfig, TangleHyperParams};
+pub use eval_cache::{tx_key, EvalCache, ScratchPool, DEFAULT_EVAL_CACHE_CAPACITY};
 pub use metrics::{rounds_to_reach, MetricsLog};
 pub use node::{Node, NodeKind, RoundContext};
 pub use sim::{RoundStats, Simulation};

@@ -3,6 +3,7 @@
 //! the publish gate (Algorithm 2).
 
 use crate::config::SimConfig;
+use crate::eval_cache::{reference_key, tx_key, EvalCache, ScratchPool};
 use fedavg::local_train;
 use feddata::ClientData;
 use rand::RngExt;
@@ -10,7 +11,7 @@ use rand_distr::{Distribution, Normal};
 use rayon::prelude::*;
 use std::sync::Arc;
 use tangle_ledger::walk::RandomWalk;
-use tangle_ledger::{AnalysisCache, Tangle, TangleAnalysis, TxId};
+use tangle_ledger::{AnalysisCache, Tangle, TangleAnalysis, TangleRead, TxId};
 use tinynn::rng::{derive, seeded};
 use tinynn::{ParamVec, Sequential};
 
@@ -120,9 +121,11 @@ impl Node {
 /// The paper's training is round-based, with "published transactions from a
 /// given round ... only visible to the nodes participating in the next
 /// round" — so one context serves all nodes of a round.
-pub struct RoundContext<'a> {
-    /// The tangle as of the start of the round.
-    pub tangle: &'a Tangle<ModelParams>,
+pub struct RoundContext<'a, T: TangleRead<Payload = ModelParams> = Tangle<ModelParams>> {
+    /// The tangle as of the start of the round — either the full ledger or
+    /// a zero-copy [`tangle_ledger::TangleView`] prefix of it (the
+    /// delayed-network path).
+    pub tangle: &'a T,
     /// Cumulative weights and ratings of the snapshot.
     pub analysis: TangleAnalysis,
     /// Per-transaction walk confidence.
@@ -144,9 +147,9 @@ pub struct RoundContext<'a> {
     pub telemetry: lt_telemetry::Telemetry,
 }
 
-impl<'a> RoundContext<'a> {
+impl<'a, T: TangleRead<Payload = ModelParams> + Sync> RoundContext<'a, T> {
     /// Build the shared context for `round` (Algorithm 1 happens here).
-    pub fn build(tangle: &'a Tangle<ModelParams>, cfg: &SimConfig, round: u64, seed: u64) -> Self {
+    pub fn build(tangle: &'a T, cfg: &SimConfig, round: u64, seed: u64) -> Self {
         Self::build_observed(
             tangle,
             cfg,
@@ -159,7 +162,7 @@ impl<'a> RoundContext<'a> {
     /// Like [`Self::build`], threading an observability handle through the
     /// analysis, confidence sampling, and all later tip selection.
     pub fn build_observed(
-        tangle: &'a Tangle<ModelParams>,
+        tangle: &'a T,
         cfg: &SimConfig,
         round: u64,
         seed: u64,
@@ -180,7 +183,7 @@ impl<'a> RoundContext<'a> {
     /// context is bit-identical to a freshly built one; only the cost
     /// changes, from `O(V²/64)` to `O(appended cones)`.
     pub fn build_with_cache(
-        tangle: &'a Tangle<ModelParams>,
+        tangle: &'a T,
         cache: &mut AnalysisCache,
         cfg: &SimConfig,
         round: u64,
@@ -196,7 +199,7 @@ impl<'a> RoundContext<'a> {
     /// Algorithm 1 over an already-computed analysis: confidence sampling,
     /// reference selection, and reference-model averaging.
     fn from_analysis(
-        tangle: &'a Tangle<ModelParams>,
+        tangle: &'a T,
         analysis: TangleAnalysis,
         depths: Option<Vec<u32>>,
         cfg: &SimConfig,
@@ -299,62 +302,147 @@ pub struct StepOutcome {
 
 /// Evaluate `params` on a client's held-out data, returning the loss.
 fn validation_loss(model: &mut Sequential, params: &ParamVec, data: &ClientData) -> f32 {
+    eval_params(model, params, data).0
+}
+
+/// Evaluate `params` on a client's held-out data, returning `(loss,
+/// accuracy)` — the pair an [`EvalCache`] memoizes.
+fn eval_params(model: &mut Sequential, params: &ParamVec, data: &ClientData) -> (f32, f32) {
     params.assign_to(model);
-    let (loss, _) = model.evaluate(&data.test_x, &data.test_y);
-    loss
+    model.evaluate(&data.test_x, &data.test_y)
 }
 
 /// Execute one node-round (the paper's Algorithm 2, §III-E variant when
 /// `tip_validation` is on).
 ///
 /// `build` constructs scratch models of the shared architecture; `rng`
-/// drives this node's walks and batch shuffles.
-pub fn node_step(
+/// drives this node's walks and batch shuffles. This is the uncached,
+/// unpooled convenience entry point; the simulators call
+/// [`node_step_pooled`] with a shared [`ScratchPool`] and an optional
+/// per-node [`EvalCache`].
+pub fn node_step<T: TangleRead<Payload = ModelParams> + Sync>(
     node: &Node,
-    ctx: &RoundContext<'_>,
+    ctx: &RoundContext<'_, T>,
     build: &(dyn Fn() -> Sequential + Sync),
     cfg: &SimConfig,
     rng: &mut impl RngExt,
 ) -> StepOutcome {
+    let scratch = ScratchPool::new(Box::new(build));
+    node_step_pooled(node, ctx, &scratch, cfg, rng, None)
+}
+
+/// [`node_step`] with shared scratch models and optional evaluation
+/// memoization. Bit-identical to the plain path: evaluations are pure in
+/// the parameters and the node's data, scratch models are fully
+/// overwritten before use, and cache probes consume no randomness — the
+/// cache only changes what is *recomputed*, never what is computed.
+pub fn node_step_pooled<T: TangleRead<Payload = ModelParams> + Sync>(
+    node: &Node,
+    ctx: &RoundContext<'_, T>,
+    scratch: &ScratchPool<'_>,
+    cfg: &SimConfig,
+    rng: &mut impl RngExt,
+    cache: Option<&mut EvalCache>,
+) -> StepOutcome {
     match node.behaviour(ctx.round) {
         Behaviour::RandomNoise => random_poison_step(node, ctx, cfg, rng),
-        Behaviour::Honest => honest_step(node, &node.data, ctx, build, cfg, rng),
+        Behaviour::Honest => honest_step(node, &node.data, 0, ctx, scratch, cfg, rng, cache),
         Behaviour::FlippedTraining => {
             let data = node
                 .poisoned_data
                 .as_ref()
                 .expect("data poisoner constructed with poisoned data");
-            honest_step(node, data, ctx, build, cfg, rng)
+            honest_step(node, data, 1, ctx, scratch, cfg, rng, cache)
         }
     }
 }
 
-fn honest_step(
+#[allow(clippy::too_many_arguments)]
+fn honest_step<T: TangleRead<Payload = ModelParams> + Sync>(
     node: &Node,
     data: &ClientData,
-    ctx: &RoundContext<'_>,
-    build: &(dyn Fn() -> Sequential + Sync),
+    data_tag: u64,
+    ctx: &RoundContext<'_, T>,
+    scratch: &ScratchPool<'_>,
     cfg: &SimConfig,
     rng: &mut impl RngExt,
+    mut cache: Option<&mut EvalCache>,
 ) -> StepOutcome {
     let hyper = &cfg.hyper;
-    let mut model = build();
-    let reference_loss = validation_loss(&mut model, &ctx.reference, data);
+    let mut model = scratch.take();
+
+    // Reference loss, memoized on (ranked reference id set, history
+    // signature up to the newest reference transaction).
+    let reference_loss = match cache.as_deref_mut() {
+        Some(c) => {
+            let max_id = ctx
+                .reference_ids
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or_else(|| ctx.tangle.genesis());
+            let sig = ctx.tangle.history_sig(max_id.index() + 1);
+            let key = reference_key(&ctx.reference_ids, data_tag);
+            match c.get(key, sig, &ctx.telemetry) {
+                Some((loss, _)) => loss,
+                None => {
+                    let (loss, acc) = eval_params(&mut model, &ctx.reference, data);
+                    c.insert(key, sig, loss, acc, &ctx.telemetry);
+                    loss
+                }
+            }
+        }
+        None => validation_loss(&mut model, &ctx.reference, data),
+    };
 
     // Tip selection: `sample_size` walks; with validation on, keep the
     // locally best `num_tips` distinct candidates, else the first walks.
     // With `accuracy_bias` enabled (§VI outlook) the walk is additionally
     // biased by each model's accuracy on this node's local data.
     let bias: Option<Vec<f64>> = (hyper.accuracy_bias > 0.0).then(|| {
-        ctx.tangle
-            .transactions()
-            .iter()
-            .map(|tx| {
-                tx.payload.assign_to(&mut model);
-                let (_, acc) = model.evaluate(&data.test_x, &data.test_y);
-                hyper.accuracy_bias * acc as f64
-            })
-            .collect()
+        match cache.as_deref_mut() {
+            None => ctx
+                .tangle
+                .transactions()
+                .iter()
+                .map(|tx| {
+                    tx.payload.assign_to(&mut model);
+                    let (_, acc) = model.evaluate(&data.test_x, &data.test_y);
+                    hyper.accuracy_bias * acc as f64
+                })
+                .collect(),
+            Some(c) => {
+                // Probe every transaction; evaluate only the misses, in
+                // parallel over pooled scratch models (evaluation draws no
+                // randomness, so the split cannot perturb the run).
+                let n = ctx.tangle.len();
+                let mut accs = vec![0.0f64; n];
+                let mut misses: Vec<TxId> = Vec::new();
+                for i in 0..n as u32 {
+                    let id = TxId(i);
+                    let sig = ctx.tangle.history_sig(i as usize + 1);
+                    match c.get(tx_key(id, data_tag), sig, &ctx.telemetry) {
+                        Some((_, acc)) => accs[i as usize] = acc as f64,
+                        None => misses.push(id),
+                    }
+                }
+                let evals: Vec<(TxId, f32, f32)> = misses
+                    .par_iter()
+                    .map(|&id| {
+                        let mut m = scratch.take();
+                        let (loss, acc) = eval_params(&mut m, &ctx.tangle.get(id).payload, data);
+                        scratch.put(m);
+                        (id, loss, acc)
+                    })
+                    .collect();
+                for &(id, loss, acc) in &evals {
+                    let sig = ctx.tangle.history_sig(id.index() + 1);
+                    c.insert(tx_key(id, data_tag), sig, loss, acc, &ctx.telemetry);
+                    accs[id.index()] = acc as f64;
+                }
+                accs.into_iter().map(|a| hyper.accuracy_bias * a).collect()
+            }
+        }
     });
     let samples: Vec<TxId> =
         match &bias {
@@ -376,13 +464,48 @@ fn honest_step(
         let mut distinct = samples.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        let mut scored: Vec<(f32, TxId)> = distinct
-            .into_iter()
-            .map(|tip| {
-                let loss = validation_loss(&mut model, &ctx.tangle.get(tip).payload, data);
-                (loss, tip)
-            })
-            .collect();
+        let mut scored: Vec<(f32, TxId)> = match cache {
+            None => distinct
+                .into_iter()
+                .map(|tip| {
+                    let loss = validation_loss(&mut model, &ctx.tangle.get(tip).payload, data);
+                    (loss, tip)
+                })
+                .collect(),
+            Some(c) => {
+                // Probe first, evaluate the unique misses in parallel, and
+                // reassemble in `distinct` order so the stable sort below
+                // breaks loss ties exactly as the uncached path does.
+                let mut losses: Vec<Option<f32>> = vec![None; distinct.len()];
+                let mut misses: Vec<(usize, TxId)> = Vec::new();
+                for (slot, &tip) in distinct.iter().enumerate() {
+                    let sig = ctx.tangle.history_sig(tip.index() + 1);
+                    match c.get(tx_key(tip, data_tag), sig, &ctx.telemetry) {
+                        Some((loss, _)) => losses[slot] = Some(loss),
+                        None => misses.push((slot, tip)),
+                    }
+                }
+                let evals: Vec<(usize, TxId, f32, f32)> = misses
+                    .par_iter()
+                    .map(|&(slot, tip)| {
+                        let mut m = scratch.take();
+                        let (loss, acc) = eval_params(&mut m, &ctx.tangle.get(tip).payload, data);
+                        scratch.put(m);
+                        (slot, tip, loss, acc)
+                    })
+                    .collect();
+                for &(slot, tip, loss, acc) in &evals {
+                    let sig = ctx.tangle.history_sig(tip.index() + 1);
+                    c.insert(tx_key(tip, data_tag), sig, loss, acc, &ctx.telemetry);
+                    losses[slot] = Some(loss);
+                }
+                distinct
+                    .into_iter()
+                    .zip(losses)
+                    .map(|(tip, loss)| (loss.expect("every candidate scored"), tip))
+                    .collect()
+            }
+        };
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite losses"));
         scored
             .into_iter()
@@ -416,6 +539,7 @@ fn honest_step(
     }
     let new_params = ParamVec::from_model(&model);
     let (new_loss, _) = model.evaluate(&data.test_x, &data.test_y);
+    scratch.put(model);
 
     // Publish gate: only emit if we beat the consensus reference locally.
     let publish = (new_loss < reference_loss).then_some(Publish {
@@ -430,9 +554,9 @@ fn honest_step(
     }
 }
 
-fn random_poison_step(
+fn random_poison_step<T: TangleRead<Payload = ModelParams> + Sync>(
     node: &Node,
-    ctx: &RoundContext<'_>,
+    ctx: &RoundContext<'_, T>,
     cfg: &SimConfig,
     rng: &mut impl RngExt,
 ) -> StepOutcome {

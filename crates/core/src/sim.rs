@@ -9,13 +9,15 @@
 
 use crate::config::SimConfig;
 use crate::dp::DpConfig;
-use crate::node::{node_step, ModelParams, Node, RoundContext};
+use crate::eval_cache::{EvalCache, ScratchPool, DEFAULT_EVAL_CACHE_CAPACITY};
+use crate::node::{node_step_pooled, ModelParams, Node, RoundContext};
 use feddata::{ClientData, FederatedDataset};
 use lt_telemetry::{Event, ReferenceEntry, RoundEvent, StepEvent, Telemetry};
+use parking_lot::Mutex;
 use rand::RngExt;
 use rayon::prelude::*;
 use std::sync::Arc;
-use tangle_ledger::{AnalysisCache, Tangle};
+use tangle_ledger::{AnalysisCache, Tangle, TangleView};
 use tinynn::loss::predictions;
 use tinynn::rng::{derive, seeded};
 use tinynn::{ParamVec, Sequential};
@@ -51,7 +53,9 @@ pub struct EvalResult {
 pub struct Simulation<'a> {
     nodes: Vec<Node>,
     tangle: Tangle<ModelParams>,
-    build: Box<dyn Fn() -> Sequential + Sync + 'a>,
+    /// Scratch models of the shared architecture, reused across rounds and
+    /// workers (params are fully assigned before every use).
+    scratch: ScratchPool<'a>,
     cfg: SimConfig,
     dp: Option<DpConfig>,
     round: u64,
@@ -65,8 +69,20 @@ pub struct Simulation<'a> {
     /// recompute the batch DPs every round). Produces bit-identical runs
     /// either way; only the cost differs.
     cache: Option<AnalysisCache>,
+    /// Per-node evaluation memoization (`None` = re-run every forward
+    /// pass). Like the analysis cache this is a pure optimization: entries
+    /// are keyed by the chained history signature, probes consume no
+    /// randomness, and runs are bit-identical with it on or off.
+    eval: Option<Vec<Mutex<EvalCache>>>,
     /// Observability handle; disabled (no-op) unless attached.
     telemetry: Telemetry,
+}
+
+/// One fresh eval cache per node.
+fn fresh_eval_caches(n: usize) -> Vec<Mutex<EvalCache>> {
+    (0..n)
+        .map(|_| Mutex::new(EvalCache::new(DEFAULT_EVAL_CACHE_CAPACITY)))
+        .collect()
 }
 
 impl<'a> Simulation<'a> {
@@ -79,7 +95,7 @@ impl<'a> Simulation<'a> {
         build: impl Fn() -> Sequential + Sync + 'a,
     ) -> Self {
         let genesis = Arc::new(ParamVec::from_model(&build()));
-        let nodes = data
+        let nodes: Vec<Node> = data
             .clients
             .into_iter()
             .enumerate()
@@ -87,10 +103,11 @@ impl<'a> Simulation<'a> {
             .collect();
         let tangle = Tangle::new(genesis);
         Self {
+            eval: Some(fresh_eval_caches(nodes.len())),
             nodes,
             cache: Some(AnalysisCache::new(&tangle)),
             tangle,
-            build: Box::new(build),
+            scratch: ScratchPool::new(Box::new(build)),
             cfg,
             dp: None,
             round: 0,
@@ -138,6 +155,15 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Enable or disable per-node evaluation memoization (on by default).
+    /// Runs are bit-identical either way — evaluations are pure in the
+    /// parameters and data, and probes consume no randomness — so the only
+    /// reason to disable it is to measure or test the uncached path.
+    pub fn with_eval_cache(mut self, enabled: bool) -> Self {
+        self.eval = enabled.then(|| fresh_eval_caches(self.nodes.len()));
+        self
+    }
+
     /// Resume from a persisted ledger (see [`crate::persist`]): the
     /// network keeps its full history; training continues from whatever
     /// consensus the saved tangle encodes. The restored transactions are
@@ -160,7 +186,7 @@ impl<'a> Simulation<'a> {
                 "persisted ledger does not match the model architecture"
             );
         }
-        let nodes = data
+        let nodes: Vec<Node> = data
             .clients
             .into_iter()
             .enumerate()
@@ -168,10 +194,11 @@ impl<'a> Simulation<'a> {
             .collect();
         let len = tangle.len();
         Self {
+            eval: Some(fresh_eval_caches(nodes.len())),
             nodes,
             cache: Some(AnalysisCache::new(&tangle)),
             tangle,
-            build: Box::new(build),
+            scratch: ScratchPool::new(Box::new(build)),
             cfg,
             dp: None,
             round: 1,
@@ -288,17 +315,20 @@ impl<'a> Simulation<'a> {
                         })
                         .collect();
                 }
+                let eval = &self.eval;
                 phases.measure("step", || {
                     idx.par_iter()
                         .map(|&ni| {
                             let mut node_rng =
                                 seeded(derive(self.cfg.seed, (round << 24) ^ ni as u64));
-                            let out = node_step(
+                            let mut guard = eval.as_ref().map(|caches| caches[ni].lock());
+                            let out = node_step_pooled(
                                 &self.nodes[ni],
                                 &ctx,
-                                self.build.as_ref(),
+                                &self.scratch,
                                 &self.cfg,
                                 &mut node_rng,
+                                guard.as_deref_mut(),
                             );
                             (ni, out)
                         })
@@ -306,12 +336,14 @@ impl<'a> Simulation<'a> {
                 })
             }
             Some(net) => phases.measure("step", || {
+                let eval = &self.eval;
                 idx.par_iter()
                     .map(|&ni| {
                         let mut node_rng = seeded(derive(self.cfg.seed, (round << 24) ^ ni as u64));
                         let delay = node_rng.random_range(0..=net.max_delay_rounds);
                         let view_round = (round - 1).saturating_sub(delay) as usize;
-                        let view = self.tangle.prefix(self.round_end_len[view_round]);
+                        // Zero-copy stale view: O(1), no payload clones.
+                        let view = TangleView::new(&self.tangle, self.round_end_len[view_round]);
                         let ctx = RoundContext::build_observed(
                             &view,
                             &self.cfg,
@@ -319,12 +351,14 @@ impl<'a> Simulation<'a> {
                             derive(self.cfg.seed, (round ^ 0xC0FF_EE00) ^ (ni as u64) << 32),
                             tel.clone(),
                         );
-                        let out = node_step(
+                        let mut guard = eval.as_ref().map(|caches| caches[ni].lock());
+                        let out = node_step_pooled(
                             &self.nodes[ni],
                             &ctx,
-                            self.build.as_ref(),
+                            &self.scratch,
                             &self.cfg,
                             &mut node_rng,
+                            guard.as_deref_mut(),
                         );
                         (ni, out)
                     })
@@ -476,8 +510,9 @@ impl<'a> Simulation<'a> {
     pub fn evaluate(&self, eval_seed: u64) -> EvalResult {
         let (reference, poisoned_frac) = self.reference_info();
         let clients = self.eval_pool(eval_seed);
-        let mut model = (self.build)();
+        let mut model = self.scratch.take();
         let (loss, accuracy) = fedavg::evaluate_params(&mut model, &reference, &clients);
+        self.scratch.put(model);
         EvalResult {
             accuracy,
             loss,
@@ -492,7 +527,7 @@ impl<'a> Simulation<'a> {
     pub fn backdoor_success(&self, target: u32, patch: usize, eval_seed: u64) -> f32 {
         let (reference, _) = self.reference_info();
         let clients = self.eval_pool(eval_seed);
-        let mut model = (self.build)();
+        let mut model = self.scratch.take();
         reference.assign_to(&mut model);
         let mut total = 0usize;
         let mut hit = 0usize;
@@ -512,6 +547,7 @@ impl<'a> Simulation<'a> {
                 }
             }
         }
+        self.scratch.put(model);
         if total == 0 {
             0.0
         } else {
@@ -524,7 +560,7 @@ impl<'a> Simulation<'a> {
     pub fn target_misclassification(&self, src: u32, dst: u32, eval_seed: u64) -> f32 {
         let (reference, _) = self.reference_info();
         let clients = self.eval_pool(eval_seed);
-        let mut model = (self.build)();
+        let mut model = self.scratch.take();
         reference.assign_to(&mut model);
         let mut total = 0usize;
         let mut hit = 0usize;
@@ -543,6 +579,7 @@ impl<'a> Simulation<'a> {
                 }
             }
         }
+        self.scratch.put(model);
         if total == 0 {
             0.0
         } else {
@@ -697,6 +734,117 @@ mod tests {
         assert_eq!(on.2, off.2, "accuracy must match");
         assert!(!on.3.is_empty(), "telemetry must produce output");
         assert_eq!(on.3, off.3, "telemetry JSONL must be byte-identical");
+    }
+
+    /// Like [`fingerprint`], toggling the *eval* cache instead of the
+    /// analysis cache, and asserting the cached run actually memoizes.
+    fn fingerprint_eval(cfg: SimConfig, eval: bool, path: &std::path::Path) -> RunFingerprint {
+        let sink = lt_telemetry::JsonlSink::create(path).expect("create jsonl");
+        let mut sim = Simulation::new(dataset(10), cfg, build)
+            .with_eval_cache(eval)
+            .with_telemetry(Telemetry::new(sink));
+        let stats: Vec<RoundStats> = (0..6).map(|_| sim.round()).collect();
+        if eval {
+            assert!(
+                sim.telemetry().counter_value("eval_cache.hits") > 0,
+                "the memoized run must serve hits"
+            );
+        } else {
+            assert_eq!(sim.telemetry().counter_value("eval_cache.hits"), 0);
+            assert_eq!(sim.telemetry().counter_value("eval_cache.misses"), 0);
+        }
+        let structure = sim
+            .tangle()
+            .transactions()
+            .iter()
+            .map(|tx| {
+                (
+                    tx.issuer,
+                    tx.parents.iter().map(|p| p.index() as u32).collect(),
+                )
+            })
+            .collect();
+        let accuracy = sim.evaluate(0).accuracy;
+        let bytes = std::fs::read(path).expect("read jsonl");
+        let _ = std::fs::remove_file(path);
+        (stats, structure, accuracy, bytes)
+    }
+
+    #[test]
+    fn eval_cache_on_and_off_are_bit_identical() {
+        // Memoized evaluation must be a pure optimization: evaluations are
+        // pure in (params, data) and probes consume no randomness, so the
+        // same seed yields the same rounds, ledger, accuracy, and telemetry
+        // bytes — only `eval_cache.*` metrics may differ (they never reach
+        // the JSONL event stream).
+        let mut cfg = quick_cfg();
+        cfg.hyper.tip_validation = true;
+        cfg.hyper.sample_size = 6;
+        let dir = std::env::temp_dir();
+        let on = fingerprint_eval(cfg.clone(), true, &dir.join("lt_eval_on.jsonl"));
+        let off = fingerprint_eval(cfg, false, &dir.join("lt_eval_off.jsonl"));
+        assert_eq!(on.0, off.0, "RoundStats must match");
+        assert_eq!(on.1, off.1, "ledger structure must match");
+        assert_eq!(on.2.to_bits(), off.2.to_bits(), "accuracy must match");
+        assert!(!on.3.is_empty(), "telemetry must produce output");
+        assert_eq!(on.3, off.3, "telemetry JSONL must be byte-identical");
+    }
+
+    #[test]
+    fn eval_cache_on_and_off_are_bit_identical_accuracy_bias() {
+        // The accuracy-bias path evaluates every transaction per step —
+        // the heaviest cached surface.
+        let mut cfg = quick_cfg();
+        cfg.hyper.tip_validation = true;
+        cfg.hyper.accuracy_bias = 0.5;
+        let dir = std::env::temp_dir();
+        let on = fingerprint_eval(cfg.clone(), true, &dir.join("lt_eval_on_b.jsonl"));
+        let off = fingerprint_eval(cfg, false, &dir.join("lt_eval_off_b.jsonl"));
+        assert_eq!(on.0, off.0);
+        assert_eq!(on.1, off.1);
+        assert_eq!(on.2.to_bits(), off.2.to_bits());
+        assert_eq!(on.3, off.3);
+    }
+
+    #[test]
+    fn eval_cache_on_and_off_are_bit_identical_delayed_network() {
+        // Delayed-network mode runs nodes on zero-copy `TangleView`
+        // prefixes; the view shares the base signature chain, so entries
+        // written under a stale view serve under fresher ones — without
+        // ever changing results.
+        let mut cfg = quick_cfg();
+        cfg.hyper.tip_validation = true;
+        cfg.network = Some(crate::config::NetworkModel {
+            max_delay_rounds: 3,
+            publish_loss: 0.0,
+        });
+        let dir = std::env::temp_dir();
+        let on = fingerprint_eval(cfg.clone(), true, &dir.join("lt_eval_on_d.jsonl"));
+        let off = fingerprint_eval(cfg, false, &dir.join("lt_eval_off_d.jsonl"));
+        assert_eq!(on.0, off.0, "RoundStats must match under delay");
+        assert_eq!(on.1, off.1, "ledger structure must match under delay");
+        assert_eq!(on.2.to_bits(), off.2.to_bits());
+        assert_eq!(on.3, off.3, "telemetry JSONL must be byte-identical");
+    }
+
+    #[test]
+    fn delayed_views_match_prefix_clone_semantics() {
+        // The zero-copy view replaced an owned `prefix()` clone on this
+        // path; the observable run must be exactly what the clone produced
+        // (pinned by the structure fingerprint against the cache-off run,
+        // which shares the view code — this guards determinism per seed).
+        let mut cfg = quick_cfg();
+        cfg.network = Some(crate::config::NetworkModel {
+            max_delay_rounds: 5,
+            publish_loss: 0.0,
+        });
+        let dir = std::env::temp_dir();
+        let a = fingerprint_eval(cfg.clone(), true, &dir.join("lt_view_a.jsonl"));
+        let b = fingerprint_eval(cfg, true, &dir.join("lt_view_b.jsonl"));
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2.to_bits(), b.2.to_bits());
+        assert_eq!(a.3, b.3);
     }
 
     #[test]

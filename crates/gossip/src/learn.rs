@@ -9,8 +9,8 @@
 use crate::message::TxMessage;
 use crate::network::{Network, NetworkConfig};
 use feddata::FederatedDataset;
-use learning_tangle::node::{node_step, Node, RoundContext};
-use learning_tangle::SimConfig;
+use learning_tangle::node::{node_step_pooled, Node, RoundContext};
+use learning_tangle::{EvalCache, ScratchPool, SimConfig, DEFAULT_EVAL_CACHE_CAPACITY};
 use rand::RngExt;
 use tangle_ledger::AnalysisCache;
 use tinynn::rng::{derive, seeded};
@@ -20,7 +20,7 @@ use tinynn::{ParamVec, Sequential};
 pub struct GossipLearning<'a> {
     network: Network,
     nodes: Vec<Node>,
-    build: Box<dyn Fn() -> Sequential + Sync + 'a>,
+    scratch: ScratchPool<'a>,
     cfg: SimConfig,
     /// Ticks the network advances per node activation.
     pub ticks_per_activation: u64,
@@ -33,6 +33,16 @@ pub struct GossipLearning<'a> {
     /// checkpoint-restore replaces the replica wholesale, which the cache
     /// detects and answers with a counted rebuild.
     caches: Vec<AnalysisCache>,
+    /// Per-peer evaluation memoization (`None` = re-run every forward
+    /// pass). Replica-local tx ids are only meaningful within one replica
+    /// incarnation, so a restart drops the peer's cache wholesale
+    /// (`eval_cache.invalidations`) — the history signature alone cannot
+    /// see a regrown replica that swapped payloads under unchanged
+    /// structure.
+    eval: Option<Vec<EvalCache>>,
+    /// Restart counts already reflected in `eval` (see
+    /// [`Network::restart_count`]).
+    restarts_seen: Vec<u64>,
     telemetry: lt_telemetry::Telemetry,
 }
 
@@ -63,8 +73,14 @@ impl<'a> GossipLearning<'a> {
         Self {
             network,
             caches,
+            eval: Some(
+                (0..n)
+                    .map(|_| EvalCache::new(DEFAULT_EVAL_CACHE_CAPACITY))
+                    .collect(),
+            ),
+            restarts_seen: vec![0; n],
             nodes,
-            build: Box::new(build),
+            scratch: ScratchPool::new(Box::new(build)),
             cfg,
             ticks_per_activation: 1,
             slot: 0,
@@ -73,6 +89,18 @@ impl<'a> GossipLearning<'a> {
             rng,
             telemetry: lt_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Enable or disable per-peer evaluation memoization (on by default).
+    /// Pure optimization: runs are bit-identical either way.
+    pub fn with_eval_cache(mut self, enabled: bool) -> Self {
+        let n = self.nodes.len();
+        self.eval = enabled.then(|| {
+            (0..n)
+                .map(|_| EvalCache::new(DEFAULT_EVAL_CACHE_CAPACITY))
+                .collect()
+        });
+        self
     }
 
     /// Attach an observability handle to the learner *and* its network
@@ -121,6 +149,15 @@ impl<'a> GossipLearning<'a> {
         }
         self.slot += 1;
         let slot = self.slot;
+        // A restarted peer came back with a different replica incarnation:
+        // its memoized evaluations are meaningless, drop them all.
+        let restarts = self.network.restart_count(peer);
+        if restarts != self.restarts_seen[peer] {
+            self.restarts_seen[peer] = restarts;
+            if let Some(eval) = &mut self.eval {
+                eval[peer].invalidate_all(&self.telemetry);
+            }
+        }
         let replica_len;
         let (publish, new_loss, reference_loss) = {
             let replica = self.network.peer(peer).replica();
@@ -134,12 +171,13 @@ impl<'a> GossipLearning<'a> {
                 self.telemetry.clone(),
             );
             let mut node_rng = seeded(derive(self.cfg.seed, (slot << 16) ^ peer as u64));
-            let out = node_step(
+            let out = node_step_pooled(
                 &self.nodes[peer],
                 &ctx,
-                self.build.as_ref(),
+                &self.scratch,
                 &self.cfg,
                 &mut node_rng,
+                self.eval.as_mut().map(|caches| &mut caches[peer]),
             );
             (out.publish, out.new_loss, out.reference_loss)
         };
@@ -213,9 +251,11 @@ impl<'a> GossipLearning<'a> {
             self.slot + 1,
             derive(self.cfg.seed, 0xE7A1),
         );
-        let mut model = (self.build)();
+        let mut model = self.scratch.take();
         let clients: Vec<&feddata::ClientData> = self.nodes.iter().map(|n| &n.data).collect();
-        fedavg::evaluate_params(&mut model, &ctx.reference, &clients)
+        let out = fedavg::evaluate_params(&mut model, &ctx.reference, &clients);
+        self.scratch.put(model);
+        out
     }
 }
 
@@ -309,6 +349,69 @@ mod tests {
         gl.network_mut().run_to_quiescence();
         // ...but must reconcile once the wires drain.
         assert!(gl.network().replicas_consistent());
+    }
+
+    #[test]
+    fn eval_cache_on_and_off_are_bit_identical() {
+        // The learner's per-peer memoization must be invisible: same
+        // publish/discard counts, same replica structure, same consensus
+        // accuracy, byte-identical telemetry JSONL per seed.
+        let run = |eval: bool, path: &std::path::Path| {
+            let sink = lt_telemetry::JsonlSink::create(path).expect("create jsonl");
+            let tel = lt_telemetry::Telemetry::new(sink);
+            let mut c = cfg();
+            c.hyper.tip_validation = true;
+            c.hyper.accuracy_bias = 0.5;
+            let mut gl = GossipLearning::new(data(6), c, NetworkConfig::default(), build)
+                .with_eval_cache(eval);
+            gl.set_telemetry(tel.clone());
+            gl.run(40);
+            gl.network_mut().run_to_quiescence();
+            if eval {
+                assert!(
+                    tel.counter_value("eval_cache.hits") > 0,
+                    "the memoized run must serve hits"
+                );
+            } else {
+                assert_eq!(tel.counter_value("eval_cache.hits"), 0);
+            }
+            let structure: Vec<(u64, Vec<u32>)> = gl
+                .network()
+                .peer(0)
+                .replica()
+                .transactions()
+                .iter()
+                .map(|tx| {
+                    (
+                        tx.issuer,
+                        tx.parents.iter().map(|p| p.index() as u32).collect(),
+                    )
+                })
+                .collect();
+            let (loss, acc) = gl.evaluate_peer(0);
+            let published = gl.published();
+            let discarded = gl.discarded();
+            let bytes = std::fs::read(path).expect("read jsonl");
+            let _ = std::fs::remove_file(path);
+            (
+                structure,
+                loss.to_bits(),
+                acc.to_bits(),
+                published,
+                discarded,
+                bytes,
+            )
+        };
+        let dir = std::env::temp_dir();
+        let on = run(true, &dir.join("lt_gossip_eval_on.jsonl"));
+        let off = run(false, &dir.join("lt_gossip_eval_off.jsonl"));
+        assert_eq!(on.0, off.0, "replica structure must match");
+        assert_eq!(on.1, off.1, "consensus loss must be bit-identical");
+        assert_eq!(on.2, off.2, "consensus accuracy must be bit-identical");
+        assert_eq!(on.3, off.3, "published count must match");
+        assert_eq!(on.4, off.4, "discarded count must match");
+        assert!(!on.5.is_empty());
+        assert_eq!(on.5, off.5, "telemetry JSONL must be byte-identical");
     }
 
     #[test]

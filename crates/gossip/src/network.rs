@@ -175,6 +175,11 @@ pub struct Network {
     repair: Vec<PeerRepair>,
     /// Eviction counts already mirrored into `stats.evicted`.
     evicted_synced: Vec<u64>,
+    /// Restart count per peer. A restart replaces the replica wholesale
+    /// (checkpoint or empty), so anything derived from the old replica —
+    /// notably per-peer evaluation caches — must be dropped when this
+    /// changes (see [`Network::restart_count`]).
+    restarts: Vec<u64>,
     checkpoint_every: u64,
     next_checkpoint_at: u64,
     checkpoints: Vec<Option<Vec<u8>>>,
@@ -208,6 +213,7 @@ impl Network {
             repair_cfg: RepairConfig::default(),
             repair: (0..n).map(|_| PeerRepair::default()).collect(),
             evicted_synced: vec![0; n],
+            restarts: vec![0; n],
             checkpoint_every: 0,
             next_checkpoint_at: u64::MAX,
             checkpoints: vec![None; n],
@@ -294,6 +300,14 @@ impl Network {
     /// Is peer `i` currently up?
     pub fn is_up(&self, i: usize) -> bool {
         self.up[i]
+    }
+
+    /// How many times peer `i` has restarted after a crash. Each restart
+    /// replaces the replica wholesale, so derived per-peer state (eval
+    /// caches, anything indexed by replica-local tx ids) is stale once
+    /// this number changes.
+    pub fn restart_count(&self, i: usize) -> u64 {
+        self.restarts[i]
     }
 
     /// Neighbours of peer `i`.
@@ -576,6 +590,7 @@ impl Network {
                 .with_orphan_cap(self.cfg.orphan_cap)
         });
         self.evicted_synced[p] = 0;
+        self.restarts[p] += 1;
         self.up[p] = true;
         self.repair[p] = PeerRepair {
             recovering_since: Some(self.now),

@@ -15,6 +15,7 @@
 
 use crate::bitset::BitSet;
 use crate::graph::{Tangle, TxId};
+use crate::view::TangleRead;
 use crate::walk::RandomWalk;
 use rayon::prelude::*;
 use std::collections::BTreeSet;
@@ -22,7 +23,7 @@ use std::collections::BTreeSet;
 /// Exact cumulative weights: `w(t) = 1 + |{x : x directly or indirectly
 /// approves t}|` (own weight plus distinct approvers), computed by a
 /// reverse-topological bitset DP.
-pub fn cumulative_weights<P>(tangle: &Tangle<P>) -> Vec<u32> {
+pub fn cumulative_weights<T: TangleRead>(tangle: &T) -> Vec<u32> {
     let n = tangle.len();
     let mut future: Vec<Option<BitSet>> = vec![None; n];
     let mut out = vec![0u32; n];
@@ -46,7 +47,7 @@ pub fn cumulative_weights<P>(tangle: &Tangle<P>) -> Vec<u32> {
 
 /// Exact ratings: `r(t) = |past cone of t|` (the genesis has rating 0),
 /// computed by a forward-topological bitset DP.
-pub fn ratings<P>(tangle: &Tangle<P>) -> Vec<u32> {
+pub fn ratings<T: TangleRead>(tangle: &T) -> Vec<u32> {
     let n = tangle.len();
     let mut past: Vec<BitSet> = Vec::with_capacity(n);
     let mut out = vec![0u32; n];
@@ -85,7 +86,7 @@ pub struct IncrementalWeights {
 
 impl IncrementalWeights {
     /// Start tracking an existing tangle (runs the batch DP once).
-    pub fn new<P>(tangle: &Tangle<P>) -> Self {
+    pub fn new<T: TangleRead>(tangle: &T) -> Self {
         Self {
             weights: cumulative_weights(tangle),
         }
@@ -96,7 +97,7 @@ impl IncrementalWeights {
     /// # Panics
     /// Panics if `id` is not exactly the next transaction after the ones
     /// already tracked.
-    pub fn on_add<P>(&mut self, tangle: &Tangle<P>, id: TxId) {
+    pub fn on_add<T: TangleRead>(&mut self, tangle: &T, id: TxId) {
         assert_eq!(
             id.index(),
             self.weights.len(),
@@ -111,9 +112,9 @@ impl IncrementalWeights {
     /// Like [`Self::on_add`], also counting the append under the
     /// `tangle.cache_appends` telemetry counter (no-op when the handle is
     /// disabled).
-    pub fn on_add_observed<P>(
+    pub fn on_add_observed<T: TangleRead>(
         &mut self,
-        tangle: &Tangle<P>,
+        tangle: &T,
         id: TxId,
         telemetry: &lt_telemetry::Telemetry,
     ) {
@@ -234,7 +235,7 @@ pub struct AnalysisCache {
 
 impl AnalysisCache {
     /// Build a cache over an existing tangle (runs the batch DPs once).
-    pub fn new<P>(tangle: &Tangle<P>) -> Self {
+    pub fn new<T: TangleRead>(tangle: &T) -> Self {
         let n = tangle.len();
         Self {
             weights: cumulative_weights(tangle),
@@ -295,7 +296,7 @@ impl AnalysisCache {
     /// signature, not just the frontier — an interior divergence of a
     /// same-length replica must not slip through). A shorter or diverged
     /// tangle is an error — never silently-stale values.
-    pub fn validate<P>(&self, tangle: &Tangle<P>) -> Result<(), CacheError> {
+    pub fn validate<T: TangleRead>(&self, tangle: &T) -> Result<(), CacheError> {
         let n = self.len();
         if tangle.len() < n {
             return Err(CacheError::TangleTooShort {
@@ -313,7 +314,7 @@ impl AnalysisCache {
     /// transaction after the ones already tracked and must exist in
     /// `tangle`; anything else returns a [`CacheError`] and leaves the
     /// cache untouched.
-    pub fn on_add<P>(&mut self, tangle: &Tangle<P>, id: TxId) -> Result<(), CacheError> {
+    pub fn on_add<T: TangleRead>(&mut self, tangle: &T, id: TxId) -> Result<(), CacheError> {
         let n = self.len();
         if id.index() != n {
             return Err(CacheError::OutOfOrder {
@@ -379,7 +380,7 @@ impl AnalysisCache {
     /// Bring the cache up to date with `tangle`: validate, then apply the
     /// appended suffix incrementally — or rebuild from scratch when the
     /// tangle is shorter than, or diverged from, the cached history.
-    pub fn refresh<P>(&mut self, tangle: &Tangle<P>) -> RefreshOutcome {
+    pub fn refresh<T: TangleRead>(&mut self, tangle: &T) -> RefreshOutcome {
         if self.validate(tangle).is_err() {
             *self = Self::new(tangle);
             return RefreshOutcome::Rebuilt;
@@ -402,9 +403,9 @@ impl AnalysisCache {
     /// under `tangle.cache_appends`), `tangle.cache_rebuilds` counts full
     /// rebuilds. All counters are no-ops on a disabled handle (see the
     /// `telemetry_overhead` bench).
-    pub fn refresh_observed<P>(
+    pub fn refresh_observed<T: TangleRead>(
         &mut self,
-        tangle: &Tangle<P>,
+        tangle: &T,
         telemetry: &lt_telemetry::Telemetry,
     ) -> RefreshOutcome {
         let outcome = self.refresh(tangle);
@@ -424,7 +425,7 @@ impl AnalysisCache {
 /// from any tip down to it (tips have depth 0, the genesis is deepest).
 /// Used by windowed tip selection to pick walk entry points "reasonably
 /// deep within the tangle" without walking from the genesis every time.
-pub fn depths<P>(tangle: &Tangle<P>) -> Vec<u32> {
+pub fn depths<T: TangleRead>(tangle: &T) -> Vec<u32> {
     let n = tangle.len();
     let mut out = vec![0u32; n];
     // Children have larger ids; sweep down so every approver is done first.
@@ -465,9 +466,9 @@ pub struct TangleAnalysis {
 
 impl TangleAnalysis {
     /// Compute both DP passes for the current tangle snapshot.
-    pub fn compute<P>(tangle: &Tangle<P>) -> Self
+    pub fn compute<T>(tangle: &T) -> Self
     where
-        P: Sync,
+        T: TangleRead + Sync,
     {
         // The two DPs are independent — run them in parallel.
         let (cumulative_weight, rating) =
@@ -480,9 +481,9 @@ impl TangleAnalysis {
 
     /// Like [`Self::compute`], wrapped in a `tangle.analysis_us` span so
     /// the weight/rating DP cost shows up in telemetry.
-    pub fn compute_observed<P>(tangle: &Tangle<P>, telemetry: &lt_telemetry::Telemetry) -> Self
+    pub fn compute_observed<T>(tangle: &T, telemetry: &lt_telemetry::Telemetry) -> Self
     where
-        P: Sync,
+        T: TangleRead + Sync,
     {
         let _span = telemetry.span("tangle.analysis_us");
         Self::compute(tangle)
@@ -494,15 +495,15 @@ impl TangleAnalysis {
     ///
     /// Walks run in parallel with per-walk derived seeds, so the result is
     /// deterministic for a given `(tangle, walk, samples, seed)`.
-    pub fn walk_confidence<P>(
+    pub fn walk_confidence<T>(
         &self,
-        tangle: &Tangle<P>,
+        tangle: &T,
         walk: &RandomWalk,
         samples: usize,
         seed: u64,
     ) -> Vec<f32>
     where
-        P: Sync,
+        T: TangleRead + Sync,
     {
         assert!(samples > 0, "need at least one confidence sample");
         let n = tangle.len();
@@ -535,16 +536,16 @@ impl TangleAnalysis {
     /// into `telemetry`: a `tangle.confidence_us` span around the whole
     /// Monte-Carlo pass and a `tangle.confidence_walks` counter counting
     /// the individual walks.
-    pub fn walk_confidence_observed<P>(
+    pub fn walk_confidence_observed<T>(
         &self,
-        tangle: &Tangle<P>,
+        tangle: &T,
         walk: &RandomWalk,
         samples: usize,
         seed: u64,
         telemetry: &lt_telemetry::Telemetry,
     ) -> Vec<f32>
     where
-        P: Sync,
+        T: TangleRead + Sync,
     {
         let _span = telemetry.span("tangle.confidence_us");
         telemetry.count("tangle.confidence_walks", samples as u64);
@@ -554,15 +555,15 @@ impl TangleAnalysis {
     /// IOTA-style approval confidence: sample `samples` tips via the walk
     /// and report, per transaction, the fraction of sampled tips whose past
     /// cone contains it.
-    pub fn approval_confidence<P>(
+    pub fn approval_confidence<T>(
         &self,
-        tangle: &Tangle<P>,
+        tangle: &T,
         walk: &RandomWalk,
         samples: usize,
         seed: u64,
     ) -> Vec<f32>
     where
-        P: Sync,
+        T: TangleRead + Sync,
     {
         assert!(samples > 0, "need at least one confidence sample");
         let n = tangle.len();

@@ -41,8 +41,10 @@ pub mod bitset;
 pub mod dot;
 pub mod graph;
 pub mod pow;
+pub mod view;
 pub mod walk;
 
 pub use analysis::{AnalysisCache, CacheError, ConsensusView, RefreshOutcome, TangleAnalysis};
 pub use bitset::BitSet;
 pub use graph::{Tangle, Transaction, TxError, TxId, TxView};
+pub use view::{TangleRead, TangleView};

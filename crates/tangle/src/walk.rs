@@ -11,6 +11,7 @@
 
 use crate::analysis::cumulative_weights;
 use crate::graph::{Tangle, TxId};
+use crate::view::TangleRead;
 use rand::RngExt as _;
 
 /// Strategy for picking the tips a new transaction will approve.
@@ -62,9 +63,9 @@ impl RandomWalk {
     /// Using precomputed weights lets callers run many walks per tangle
     /// snapshot (confidence sampling, per-node tip sampling) without paying
     /// the DP each time.
-    pub fn walk_path_with_weights<P>(
+    pub fn walk_path_with_weights<T: TangleRead>(
         &self,
-        tangle: &Tangle<P>,
+        tangle: &T,
         weights: &[u32],
         rng: &mut dyn rand::Rng,
     ) -> Vec<TxId> {
@@ -114,9 +115,9 @@ impl RandomWalk {
     }
 
     /// Select a tip with precomputed cumulative weights.
-    pub fn select_tip_with_weights<P>(
+    pub fn select_tip_with_weights<T: TangleRead>(
         &self,
-        tangle: &Tangle<P>,
+        tangle: &T,
         weights: &[u32],
         rng: &mut dyn rand::Rng,
     ) -> TxId {
@@ -129,9 +130,9 @@ impl RandomWalk {
     /// Like [`Self::select_tip_with_weights`], additionally recording the
     /// walk length (hops from the genesis) into the `tangle.walk_len`
     /// histogram and the `tangle.walks` counter of `telemetry`.
-    pub fn select_tip_observed<P>(
+    pub fn select_tip_observed<T: TangleRead>(
         &self,
-        tangle: &Tangle<P>,
+        tangle: &T,
         weights: &[u32],
         rng: &mut dyn rand::Rng,
         telemetry: &lt_telemetry::Telemetry,
@@ -176,9 +177,9 @@ impl WindowedWalk {
 
     /// Select a tip with precomputed cumulative weights and depths
     /// (see [`crate::analysis::depths`]).
-    pub fn select_tip_with_weights<P>(
+    pub fn select_tip_with_weights<T: TangleRead>(
         &self,
-        tangle: &Tangle<P>,
+        tangle: &T,
         weights: &[u32],
         depths: &[u32],
         rng: &mut dyn rand::Rng,
@@ -202,9 +203,9 @@ impl WindowedWalk {
     /// walk into `telemetry` (counter `tangle.walks`; the windowed walk
     /// does not retrace its path, so only the count is recorded, not a
     /// length).
-    pub fn select_tip_observed<P>(
+    pub fn select_tip_observed<T: TangleRead>(
         &self,
-        tangle: &Tangle<P>,
+        tangle: &T,
         weights: &[u32],
         depths: &[u32],
         rng: &mut dyn rand::Rng,
@@ -216,9 +217,9 @@ impl WindowedWalk {
     }
 
     /// Run the weighted walk from an explicit start particle.
-    pub fn walk_to_tip_from<P>(
+    pub fn walk_to_tip_from<T: TangleRead>(
         &self,
-        tangle: &Tangle<P>,
+        tangle: &T,
         weights: &[u32],
         start: TxId,
         rng: &mut dyn rand::Rng,
@@ -287,9 +288,9 @@ impl<'a> BiasedRandomWalk<'a> {
     }
 
     /// Select one tip using precomputed cumulative weights plus the bias.
-    pub fn select_tip_with_weights<P>(
+    pub fn select_tip_with_weights<T: TangleRead>(
         &self,
-        tangle: &Tangle<P>,
+        tangle: &T,
         weights: &[u32],
         rng: &mut dyn rand::Rng,
     ) -> TxId {

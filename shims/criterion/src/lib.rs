@@ -6,7 +6,65 @@
 //! mean/min per-iteration wall time is printed. No statistics, plots, or
 //! baselines — enough to compare hot paths before/after a change.
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Per-benchmark `(label, median_ns)` results collected this process, in
+/// execution order. Feeds the optional `--json <path>` snapshot.
+fn results() -> &'static Mutex<Vec<(String, u128)>> {
+    static REG: OnceLock<Mutex<Vec<(String, u128)>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The path given via `--json <path>` (or `--json=<path>`), if any.
+fn json_path_from_args() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next();
+        }
+        if let Some(p) = a.strip_prefix("--json=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// Write the collected medians as JSON when `--json <path>` was passed
+/// (no-op otherwise). Called by [`criterion_main!`] after all groups ran.
+/// Schema (`lt-bench/1`): `benches` maps each `group/bench` label to its
+/// median per-iteration nanoseconds; `groups` maps each group to the
+/// median over its benches' medians.
+pub fn write_json_summary() {
+    let Some(path) = json_path_from_args() else {
+        return;
+    };
+    let reg = results().lock().unwrap();
+    let mut benches: Vec<(String, u128)> = reg.clone();
+    benches.sort();
+    let mut by_group: std::collections::BTreeMap<String, Vec<u128>> =
+        std::collections::BTreeMap::new();
+    for (label, ns) in &benches {
+        let group = label.split('/').next().unwrap_or(label).to_string();
+        by_group.entry(group).or_default().push(*ns);
+    }
+    let mut out = String::from("{\n  \"schema\": \"lt-bench/1\",\n  \"benches\": {\n");
+    for (i, (label, ns)) in benches.iter().enumerate() {
+        let sep = if i + 1 == benches.len() { "" } else { "," };
+        out.push_str(&format!("    \"{label}\": {ns}{sep}\n"));
+    }
+    out.push_str("  },\n  \"groups\": {\n");
+    let n_groups = by_group.len();
+    for (i, (group, mut medians)) in by_group.into_iter().enumerate() {
+        medians.sort_unstable();
+        let median = medians[medians.len() / 2];
+        let sep = if i + 1 == n_groups { "" } else { "," };
+        out.push_str(&format!("    \"{group}\": {median}{sep}\n"));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote bench snapshot to {path}");
+}
 
 /// How per-iteration inputs are batched (accepted, ignored).
 #[derive(Clone, Copy, Debug)]
@@ -92,6 +150,13 @@ fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let min = b.times.iter().min().copied().unwrap_or_default();
     let total: Duration = b.times.iter().sum();
     let mean = total / b.times.len() as u32;
+    let mut sorted = b.times.clone();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    results()
+        .lock()
+        .unwrap()
+        .push((label.to_string(), median.as_nanos()));
     println!(
         "{label:<50} mean {:>12}   min {:>12}   ({} samples)",
         fmt_duration(mean),
@@ -139,8 +204,21 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // `cargo bench -- <filter>` passes a substring filter; other
-        // harness flags (--bench, --save-baseline, ...) are ignored.
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        // harness flags (--bench, --save-baseline, ...) are ignored, and
+        // the value of `--json <path>` must not be mistaken for a filter.
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                let _ = args.next();
+                continue;
+            }
+            if a.starts_with('-') {
+                continue;
+            }
+            filter = Some(a);
+            break;
+        }
         Criterion {
             default_sample_size: 20,
             filter,
@@ -199,6 +277,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_summary();
         }
     };
 }
