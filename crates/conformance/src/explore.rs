@@ -194,8 +194,13 @@ fn check_differential(schedule: &Schedule) -> Result<(), Violation> {
     check_ledger_invariants(sim.tangle(), &cfg, schedule.seed)
 }
 
-/// Model-differential and standalone invariants over one final ledger.
-fn check_ledger_invariants(
+/// Model-differential and standalone invariants over one final ledger:
+/// acyclicity, weight/rating/depth/tip agreement with the naive
+/// [`StructModel`], approval monotonicity, confidence bounds, and the
+/// reference pick. Public so external differential harnesses (e.g. the
+/// `lt-net` cross-process conformance test) can run the same pass over
+/// a ledger reconstructed from daemon archives.
+pub fn check_ledger_invariants(
     tangle: &Tangle<learning_tangle::node::ModelParams>,
     cfg: &SimConfig,
     seed: u64,

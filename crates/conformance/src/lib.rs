@@ -35,7 +35,8 @@ pub mod shrink;
 
 pub use artifact::Artifact;
 pub use explore::{
-    check_replica_caches, check_schedule, explore, GossipChecker, Mutation, Violation,
+    check_ledger_invariants, check_replica_caches, check_schedule, explore, GossipChecker,
+    Mutation, Violation,
 };
 pub use model::{ShadowCache, StructModel, StubSim};
 pub use schedule::{Op, Schedule};

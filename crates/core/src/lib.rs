@@ -46,4 +46,4 @@ pub use config::{ConfidenceMode, NetworkModel, SimConfig, TangleHyperParams};
 pub use eval_cache::{tx_key, EvalCache, ScratchPool, DEFAULT_EVAL_CACHE_CAPACITY};
 pub use metrics::{rounds_to_reach, MetricsLog};
 pub use node::{Node, NodeKind, RoundContext};
-pub use sim::{RoundStats, Simulation};
+pub use sim::{eval_pool_indices, RoundStats, Simulation};

@@ -494,16 +494,15 @@ impl<'a> Simulation<'a> {
     /// nodes (the paper validates "using the test datasets of a random
     /// selection of 10% of all nodes").
     fn eval_pool(&self, eval_seed: u64) -> Vec<&ClientData> {
-        let mut rng = seeded(derive(self.cfg.seed, 0x5EED_0000 ^ eval_seed));
-        let n = self.nodes.len();
-        let k = (((n as f32) * self.cfg.eval_fraction).round() as usize).clamp(1, n);
-        let mut idx: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = rng.random_range(0..=i);
-            idx.swap(i, j);
-        }
-        idx.truncate(k);
-        idx.into_iter().map(|i| &self.nodes[i].data).collect()
+        eval_pool_indices(
+            self.cfg.seed,
+            eval_seed,
+            self.nodes.len(),
+            self.cfg.eval_fraction,
+        )
+        .into_iter()
+        .map(|i| &self.nodes[i].data)
+        .collect()
     }
 
     /// Evaluate the consensus model.
@@ -586,6 +585,23 @@ impl<'a> Simulation<'a> {
             hit as f32 / total as f32
         }
     }
+}
+
+/// Indices of the evaluation pool: an `eval_fraction` sample of `n`
+/// nodes, shuffled by an RNG derived from `(seed, eval_seed)`. Factored
+/// out of [`Simulation::evaluate`] so every executor (round, async,
+/// gossip, networked daemon) draws the *same* pool and consensus
+/// evaluations agree bit-for-bit.
+pub fn eval_pool_indices(seed: u64, eval_seed: u64, n: usize, eval_fraction: f32) -> Vec<usize> {
+    let mut rng = seeded(derive(seed, 0x5EED_0000 ^ eval_seed));
+    let k = (((n as f32) * eval_fraction).round() as usize).clamp(1, n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
 }
 
 #[cfg(test)]

@@ -50,6 +50,8 @@ pub struct Opts {
     /// Inject a documented bug into the conformance harness to prove it
     /// is caught (`--mutate=stale-cache`).
     pub mutate: Option<String>,
+    /// Daemon count for the `net` experiment (`--nodes=N`).
+    pub nodes: Option<usize>,
 }
 
 impl Opts {
@@ -68,6 +70,7 @@ impl Opts {
             schedules: 256,
             replay: None,
             mutate: None,
+            nodes: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -96,6 +99,8 @@ impl Opts {
                 opts.replay = Some(PathBuf::from(v));
             } else if let Some(v) = a.strip_prefix("--mutate=") {
                 opts.mutate = Some(v.to_string());
+            } else if let Some(v) = a.strip_prefix("--nodes=") {
+                opts.nodes = Some(v.parse().map_err(|e| format!("bad --nodes: {e}"))?);
             } else if let Some(v) = a.strip_prefix("--telemetry=") {
                 opts.telemetry = Some(PathBuf::from(v));
             } else if a == "--telemetry" {

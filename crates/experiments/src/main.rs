@@ -18,6 +18,9 @@
 //!   fig6     label-flipping 3->8, p in {0.1, 0.2, 0.3} (accuracy + 6b)
 //!   backdoor corner-trigger backdoor attack (extension), p in {0.1, 0.2, 0.3}
 //!   gossipnet distributed gossip implementation vs message loss (extension)
+//!   net      multi-process networking: N lt-node daemons over localhost
+//!            TCP; lockstep byte-agreement with the in-process executor,
+//!            then sustained-publish throughput/latency (--nodes=N)
 //!   churn    fault injection: accuracy/consistency vs crash-restart churn
 //!   linkability update-linkability attack vs DP noise (extension, §III-D)
 //!   ablate   design-choice ablations (defense, alpha, confidence, bias)
@@ -40,6 +43,7 @@ mod fig3;
 mod fig4;
 mod gossipnet;
 mod linkability;
+mod net;
 mod presets;
 mod table1;
 mod table2;
@@ -49,7 +53,7 @@ use common::Opts;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: lt-experiments <table1|fig2|fig3|fig3a|fig3b|fig3c|fig4|table2|fig5|fig6|backdoor|gossipnet|churn|linkability|ablate|conformance|all> [--paper] [--seed=N] [--rounds=N] [--out=DIR] [--telemetry <path.jsonl>] [--telemetry-timings] [--churn=N] [--fault-seed=N] [--checkpoint-every=N] [--schedules=N] [--replay=PATH] [--mutate=stale-cache]");
+        eprintln!("usage: lt-experiments <table1|fig2|fig3|fig3a|fig3b|fig3c|fig4|table2|fig5|fig6|backdoor|gossipnet|net|churn|linkability|ablate|conformance|all> [--nodes=N] [--paper] [--seed=N] [--rounds=N] [--out=DIR] [--telemetry <path.jsonl>] [--telemetry-timings] [--churn=N] [--fault-seed=N] [--checkpoint-every=N] [--schedules=N] [--replay=PATH] [--mutate=stale-cache]");
         std::process::exit(2);
     };
     let opts = match Opts::parse(&args[1..]) {
@@ -74,6 +78,7 @@ fn main() {
         "fig6" => attacks::fig6(&opts),
         "backdoor" => attacks::backdoor(&opts),
         "gossipnet" => gossipnet::run(&opts),
+        "net" => net::run(&opts),
         "churn" => churn::run(&opts),
         "linkability" => linkability::run(&opts),
         "ablate" => ablate::run(&opts),

@@ -1,0 +1,156 @@
+//! Multi-process networking experiment: spawn N local `lt-node` daemons,
+//! verify that a scripted lockstep schedule byte-agrees with the
+//! in-process gossip executor, then drive sustained publish traffic and
+//! report throughput, socket-level frame/byte totals, and peer RTT.
+//!
+//! This is the wire-protocol counterpart of the `gossipnet` extension:
+//! the same protocol, but over real TCP sockets, one process per peer.
+
+use crate::common::Opts;
+use lt_net::{default_node_bin, Cluster, Preset, ORPHAN_CAP};
+use std::io::Write;
+use tangle_gossip::learn::GossipLearning;
+use tangle_gossip::network::{Latency, NetworkConfig, Topology};
+use tinynn::rng::{derive, seeded};
+
+/// Run the networking experiment.
+pub fn run(opts: &Opts) {
+    let nodes = opts.nodes.unwrap_or(3);
+    let per_node = opts.rounds.unwrap_or(20) as usize;
+    let seed = opts.seed;
+    let bin = default_node_bin();
+    println!("lt-node binary: {}", bin.display());
+    println!("preset: nodes={nodes} seed={seed}");
+
+    // --- phase 1: lockstep agreement with the in-process executor
+    let schedule: Vec<usize> = {
+        use rand::RngExt;
+        let mut rng = seeded(derive(seed, 0x5C4E_D01E));
+        (0..3 * nodes).map(|_| rng.random_range(0..nodes)).collect()
+    };
+    let preset = Preset { nodes, seed };
+    let mut gl = GossipLearning::new(
+        preset.dataset(),
+        preset.sim_cfg(),
+        NetworkConfig {
+            topology: Topology::FullMesh,
+            latency: Latency { min: 1, max: 2 },
+            loss: 0.0,
+            pow_difficulty: 0,
+            seed: derive(seed, 0x6055),
+            orphan_cap: ORPHAN_CAP,
+        },
+        Preset::build,
+    );
+    for &p in &schedule {
+        gl.activate(p);
+        gl.network_mut().run_to_quiescence();
+    }
+    let oracle: Vec<Vec<u8>> = gl
+        .network()
+        .peer(0)
+        .export_messages()
+        .iter()
+        .map(|m| m.encode().to_vec())
+        .collect();
+
+    let mut cluster = Cluster::spawn(&bin, nodes, seed, 0).expect("spawn cluster");
+    let lockstep = cluster.lockstep(&schedule).expect("lockstep run");
+    let archives = cluster.archives().expect("fetch archives");
+    let agree = archives.iter().all(|a| {
+        a.iter()
+            .map(|m| m.encode().to_vec())
+            .collect::<Vec<_>>()
+            .eq(&oracle)
+    });
+    cluster.shutdown().expect("shutdown lockstep cluster");
+    println!(
+        "\n=== lockstep ({} activations over {} daemons) ===",
+        lockstep.activations, nodes
+    );
+    println!("  published       {:>8}", lockstep.published);
+    println!("  final ledger    {:>8}", lockstep.final_len);
+    println!(
+        "  oracle agreement {:>7}",
+        if agree { "BYTE-EQ" } else { "DIVERGED" }
+    );
+    assert!(agree, "daemon archives diverged from the in-process oracle");
+
+    // --- phase 2: sustained concurrent publish traffic, pings on
+    let mut cluster = Cluster::spawn(&bin, nodes, seed, 25).expect("spawn cluster");
+    let report = cluster.throughput(per_node).expect("throughput run");
+    cluster.shutdown().expect("shutdown throughput cluster");
+    println!(
+        "\n=== throughput ({} activations/daemon, {} daemons) ===",
+        per_node, nodes
+    );
+    println!("  wall            {:>10.2?}", report.wall);
+    println!("  drain           {:>10.2?}", report.drain);
+    println!("  activations/s   {:>10.1}", report.activations_per_sec());
+    println!(
+        "  published       {:>10} ({} discarded)",
+        report.published,
+        report.activations as u64 - report.published
+    );
+    println!(
+        "  frames sent/recv{:>10} / {}",
+        report.frames_sent, report.frames_recv
+    );
+    println!(
+        "  bytes sent/recv {:>10} / {}",
+        report.bytes_sent, report.bytes_recv
+    );
+    println!(
+        "  dropped/rejected{:>10} / {}",
+        report.dropped, report.rejected
+    );
+    match report.mean_rtt_us() {
+        Some(rtt) => println!(
+            "  mean RTT        {:>10.0} us ({} pings)",
+            rtt, report.rtt.0
+        ),
+        None => println!("  mean RTT        {:>10}", "-"),
+    }
+
+    // artifact for the paper repo's results directory
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    let path = opts.out.join("net.json");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"nodes\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"lockstep\": {{ \"activations\": {}, \"published\": {}, ",
+            "\"final_len\": {}, \"oracle_agreement\": {} }},\n",
+            "  \"throughput\": {{ \"activations\": {}, \"published\": {}, ",
+            "\"wall_us\": {}, \"drain_us\": {}, \"activations_per_sec\": {:.2}, ",
+            "\"frames_sent\": {}, \"frames_recv\": {}, ",
+            "\"bytes_sent\": {}, \"bytes_recv\": {}, ",
+            "\"dropped\": {}, \"rejected\": {}, ",
+            "\"rtt_count\": {}, \"rtt_sum_us\": {} }}\n",
+            "}}\n"
+        ),
+        nodes,
+        seed,
+        lockstep.activations,
+        lockstep.published,
+        lockstep.final_len,
+        agree,
+        report.activations,
+        report.published,
+        report.wall.as_micros(),
+        report.drain.as_micros(),
+        report.activations_per_sec(),
+        report.frames_sent,
+        report.frames_recv,
+        report.bytes_sent,
+        report.bytes_recv,
+        report.dropped,
+        report.rejected,
+        report.rtt.0,
+        report.rtt.1,
+    );
+    let mut f = std::fs::File::create(&path).expect("create net.json");
+    f.write_all(json.as_bytes()).expect("write net.json");
+    println!("  wrote {}", path.display());
+}

@@ -9,12 +9,74 @@
 use crate::message::TxMessage;
 use crate::network::{Network, NetworkConfig};
 use feddata::FederatedDataset;
-use learning_tangle::node::{node_step_pooled, Node, RoundContext};
-use learning_tangle::{EvalCache, ScratchPool, SimConfig, DEFAULT_EVAL_CACHE_CAPACITY};
+use learning_tangle::node::{node_step_pooled, ModelParams, Node, RoundContext, StepOutcome};
+use learning_tangle::{
+    eval_pool_indices, EvalCache, ScratchPool, SimConfig, DEFAULT_EVAL_CACHE_CAPACITY,
+};
 use rand::RngExt;
-use tangle_ledger::AnalysisCache;
+use tangle_ledger::{AnalysisCache, Tangle};
 use tinynn::rng::{derive, seeded};
 use tinynn::{ParamVec, Sequential};
+
+/// One Algorithm-2 training step against `replica` at activation `slot`,
+/// derived exactly as the round simulator derives round `slot`: the
+/// context seed is `derive(cfg.seed, slot ^ 0xC0FF_EE00)` and the node
+/// RNG is `derive(cfg.seed, (slot << 24) ^ peer)`. Factored out so the
+/// in-process learner and the `lt-node` daemon produce byte-identical
+/// parameters for the same `(seed, slot, peer)` over the same replica —
+/// and so a one-activation-per-round gossip run matches the round
+/// simulator bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn train_step(
+    replica: &Tangle<ModelParams>,
+    cache: &mut AnalysisCache,
+    node: &Node,
+    peer: usize,
+    slot: u64,
+    scratch: &ScratchPool<'_>,
+    cfg: &SimConfig,
+    eval: Option<&mut EvalCache>,
+    telemetry: &lt_telemetry::Telemetry,
+) -> StepOutcome {
+    let ctx = RoundContext::build_with_cache(
+        replica,
+        cache,
+        cfg,
+        slot,
+        derive(cfg.seed, slot ^ 0xC0FF_EE00),
+        telemetry.clone(),
+    );
+    let mut node_rng = seeded(derive(cfg.seed, (slot << 24) ^ peer as u64));
+    node_step_pooled(node, &ctx, scratch, cfg, &mut node_rng, eval)
+}
+
+/// Evaluate the consensus model held in `replica` exactly as
+/// [`learning_tangle::Simulation::evaluate`] does after `slot` rounds:
+/// Algorithm 1 at round `slot + 1`, evaluated on the pooled clean
+/// held-out data of the shared [`eval_pool_indices`] sample. Returns
+/// `(loss, accuracy)` — bit-identical across executors whose replicas
+/// are bit-identical.
+pub fn consensus_eval(
+    replica: &Tangle<ModelParams>,
+    nodes: &[Node],
+    scratch: &ScratchPool<'_>,
+    cfg: &SimConfig,
+    slot: u64,
+    eval_seed: u64,
+) -> (f32, f32) {
+    let ctx = RoundContext::build(
+        replica,
+        cfg,
+        slot + 1,
+        derive(cfg.seed, (slot + 1) ^ 0xC0FF_EE00),
+    );
+    let pool = eval_pool_indices(cfg.seed, eval_seed, nodes.len(), cfg.eval_fraction);
+    let clients: Vec<&feddata::ClientData> = pool.iter().map(|&i| &nodes[i].data).collect();
+    let mut model = scratch.take();
+    let out = fedavg::evaluate_params(&mut model, &ctx.reference, &clients);
+    scratch.put(model);
+    out
+}
 
 /// A gossip-network learning run.
 pub struct GossipLearning<'a> {
@@ -162,22 +224,16 @@ impl<'a> GossipLearning<'a> {
         let (publish, new_loss, reference_loss) = {
             let replica = self.network.peer(peer).replica();
             replica_len = replica.len();
-            let ctx = RoundContext::build_with_cache(
+            let out = train_step(
                 replica,
                 &mut self.caches[peer],
-                &self.cfg,
-                slot,
-                derive(self.cfg.seed, slot ^ 0x0C7A_6000),
-                self.telemetry.clone(),
-            );
-            let mut node_rng = seeded(derive(self.cfg.seed, (slot << 16) ^ peer as u64));
-            let out = node_step_pooled(
                 &self.nodes[peer],
-                &ctx,
+                peer,
+                slot,
                 &self.scratch,
                 &self.cfg,
-                &mut node_rng,
                 self.eval.as_mut().map(|caches| &mut caches[peer]),
+                &self.telemetry,
             );
             (out.publish, out.new_loss, out.reference_loss)
         };
@@ -239,6 +295,23 @@ impl<'a> GossipLearning<'a> {
             let peer = self.rng.random_range(0..self.nodes.len());
             self.activate(peer);
         }
+    }
+
+    /// Evaluate the consensus model *as seen by* `peer` exactly as the
+    /// round simulator's `evaluate` would after the same number of
+    /// rounds (`eval_seed` picks the evaluation pool). When this
+    /// learner's replica is bit-identical with a round simulation's
+    /// ledger — one activation per round, fully drained — so is the
+    /// result. Returns `(loss, accuracy)`.
+    pub fn evaluate_consensus(&self, peer: usize, eval_seed: u64) -> (f32, f32) {
+        consensus_eval(
+            self.network.peer(peer).replica(),
+            &self.nodes,
+            &self.scratch,
+            &self.cfg,
+            self.slot,
+            eval_seed,
+        )
     }
 
     /// Evaluate the consensus model *as seen by* `peer`, on the pooled

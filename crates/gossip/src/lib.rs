@@ -14,6 +14,9 @@
 //!   replica, translating content ids to local ids, buffering *orphans*
 //!   (transactions whose parents haven't arrived yet) and rejecting
 //!   duplicates, malformed payloads, and invalid proofs-of-work.
+//! * [`transport`] — the protocol vocabulary ([`ProtocolMsg`]:
+//!   publish / advertise / request / delta) and the [`Transport`]
+//!   abstraction over how those messages move between peers.
 //! * [`network`] — a discrete-event message simulator: configurable
 //!   topology (full mesh / ring / random regular), per-link latency,
 //!   message loss, and partitions. Losses and restarts heal through a
@@ -34,8 +37,10 @@ pub mod learn;
 pub mod message;
 pub mod network;
 pub mod peer;
+pub mod transport;
 
 pub use fault::{CrashEvent, FaultPlan, Recovery, RepairConfig};
 pub use message::{ContentId, TxMessage};
 pub use network::{Latency, NetStats, Network, NetworkConfig, Topology};
 pub use peer::{Peer, ReceiveOutcome};
+pub use transport::{ProtocolMsg, Transport};

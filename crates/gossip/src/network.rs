@@ -4,6 +4,7 @@
 use crate::fault::{FaultPlan, Recovery, RepairConfig};
 use crate::message::{ContentId, TxMessage};
 use crate::peer::{Peer, ReceiveOutcome};
+use crate::transport::{ProtocolMsg, Transport};
 use rand::RngExt;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
@@ -66,25 +67,22 @@ impl Default for NetworkConfig {
     }
 }
 
-/// What travels over a link: data, or repair-protocol control traffic.
-#[derive(Clone, Debug)]
-enum Packet {
-    /// A gossiped transaction.
-    Tx(TxMessage),
-    /// "These are my current tips" — the receiver pushes back whatever
-    /// provably lies outside their closure and pulls any head it has
-    /// never seen.
-    Advertise { heads: Vec<ContentId> },
-    /// "Send me these transactions" — answered from archive or orphan
-    /// buffer with plain [`Packet::Tx`] replies.
-    Request { wants: Vec<ContentId> },
-}
-
 enum Payload {
-    Deliver { from: usize, to: usize, pkt: Packet },
-    Crash { peer: usize },
-    Restart { peer: usize, recovery: Recovery },
-    RepairTick { peer: usize },
+    Deliver {
+        from: usize,
+        to: usize,
+        pkt: ProtocolMsg,
+    },
+    Crash {
+        peer: usize,
+    },
+    Restart {
+        peer: usize,
+        recovery: Recovery,
+    },
+    RepairTick {
+        peer: usize,
+    },
 }
 
 struct Scheduled {
@@ -341,7 +339,7 @@ impl Network {
             if to == came_from {
                 continue;
             }
-            self.enqueue_hop(from, to, Packet::Tx(msg.clone()));
+            self.enqueue_hop(from, to, ProtocolMsg::Publish(msg.clone()));
         }
     }
 
@@ -349,17 +347,18 @@ impl Network {
     /// the base loss/latency model, and — when a fault plan is armed —
     /// the extra drop/duplicate/corrupt/reorder perturbations. The fault
     /// RNG is only consulted for non-zero rates, so a benign plan leaves
-    /// the base randomness stream untouched.
-    fn enqueue_hop(&mut self, from: usize, to: usize, pkt: Packet) {
+    /// the base randomness stream untouched. Returns whether at least one
+    /// copy was scheduled for delivery.
+    fn enqueue_hop(&mut self, from: usize, to: usize, pkt: ProtocolMsg) -> bool {
         if self.groups[from] != self.groups[to] {
             self.stats.dropped += 1;
             self.telemetry.count("gossip.dropped", 1);
-            return;
+            return false;
         }
         if self.cfg.loss > 0.0 && self.rng.random_range(0.0..1.0) < self.cfg.loss {
             self.stats.dropped += 1;
             self.telemetry.count("gossip.dropped", 1);
-            return;
+            return false;
         }
         let base_delay = self
             .rng
@@ -370,14 +369,14 @@ impl Network {
             if f.plan.drop > 0.0 && f.rng.random_range(0.0..1.0) < f.plan.drop {
                 self.stats.dropped += 1;
                 self.telemetry.count("gossip.dropped", 1);
-                return;
+                return false;
             }
             if f.plan.duplicate > 0.0 && f.rng.random_range(0.0..1.0) < f.plan.duplicate {
                 // the copy takes its own latency draw (below)
                 delays.push(base_delay);
             }
             if f.plan.corrupt > 0.0 {
-                if let Packet::Tx(msg) = &mut pkt {
+                if let ProtocolMsg::Publish(msg) | ProtocolMsg::Delta(msg) = &mut pkt {
                     if f.rng.random_range(0.0..1.0) < f.plan.corrupt && !msg.payload.is_empty() {
                         let idx = f.rng.random_range(0..msg.payload.len());
                         let bit = 1u8 << f.rng.random_range(0..8u32);
@@ -409,12 +408,13 @@ impl Network {
         for (i, delay) in delays.iter().enumerate() {
             let p = if i == last {
                 // move the original on the final copy
-                std::mem::replace(&mut pkt, Packet::Request { wants: Vec::new() })
+                std::mem::replace(&mut pkt, ProtocolMsg::Request { wants: Vec::new() })
             } else {
                 pkt.clone()
             };
             self.push_event(self.now + delay, Payload::Deliver { from, to, pkt: p });
         }
+        true
     }
 
     /// Deliver the next scheduled event. Returns `false` when idle.
@@ -461,14 +461,16 @@ impl Network {
         self.telemetry.count("fault.checkpoint", 1);
     }
 
-    fn deliver(&mut self, from: usize, to: usize, pkt: Packet) {
+    fn deliver(&mut self, from: usize, to: usize, pkt: ProtocolMsg) {
         if !self.up[to] {
             self.stats.discarded += 1;
             self.telemetry.count("fault.discarded", 1);
             return;
         }
         match pkt {
-            Packet::Tx(msg) => {
+            // Publish and Delta carry the same payload and are handled
+            // identically; only the wire-level intent differs.
+            ProtocolMsg::Publish(msg) | ProtocolMsg::Delta(msg) => {
                 self.stats.delivered += 1;
                 self.telemetry.count("gossip.delivered", 1);
                 match self.peers[to].receive(&msg) {
@@ -496,7 +498,7 @@ impl Network {
                     }
                 }
             }
-            Packet::Advertise { heads } => {
+            ProtocolMsg::Advertise { heads } => {
                 let unknown: Vec<ContentId> = heads
                     .iter()
                     .copied()
@@ -504,7 +506,7 @@ impl Network {
                     .collect();
                 let delta = self.peers[to].delta_for(&heads);
                 for m in delta {
-                    self.enqueue_hop(to, from, Packet::Tx(m));
+                    self.enqueue_hop(to, from, ProtocolMsg::Delta(m));
                 }
                 if !unknown.is_empty() && self.repair_cfg.enabled {
                     let first_due = self.now + self.repair_cfg.delay;
@@ -519,13 +521,13 @@ impl Network {
                     self.schedule_repair(to, first_due);
                 }
             }
-            Packet::Request { wants } => {
+            ProtocolMsg::Request { wants } => {
                 let msgs: Vec<TxMessage> = wants
                     .iter()
                     .filter_map(|w| self.peers[to].message_for(*w).cloned())
                     .collect();
                 for m in msgs {
-                    self.enqueue_hop(to, from, Packet::Tx(m));
+                    self.enqueue_hop(to, from, ProtocolMsg::Delta(m));
                 }
             }
         }
@@ -614,7 +616,7 @@ impl Network {
                 self.enqueue_hop(
                     p,
                     nb,
-                    Packet::Advertise {
+                    ProtocolMsg::Advertise {
                         heads: heads.clone(),
                     },
                 );
@@ -703,7 +705,7 @@ impl Network {
             self.telemetry.count("gossip.rerequests", total);
         }
         for (nb, wants) in sends {
-            self.enqueue_hop(p, nb, Packet::Request { wants });
+            self.enqueue_hop(p, nb, ProtocolMsg::Request { wants });
         }
         if let Some(t) = next_due {
             self.schedule_repair(p, t);
@@ -764,7 +766,7 @@ impl Network {
                         self.enqueue_hop(
                             p,
                             nb,
-                            Packet::Advertise {
+                            ProtocolMsg::Advertise {
                                 heads: heads.clone(),
                             },
                         );
@@ -853,6 +855,14 @@ impl Network {
             }
         }
         true
+    }
+}
+
+/// The discrete-event simulator is the in-memory [`Transport`]: a send
+/// becomes one hop through the partition/loss/latency/fault pipeline.
+impl Transport for Network {
+    fn send(&mut self, from: usize, to: usize, msg: ProtocolMsg) -> bool {
+        self.enqueue_hop(from, to, msg)
     }
 }
 

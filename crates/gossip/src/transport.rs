@@ -1,0 +1,62 @@
+//! The gossip wire-protocol vocabulary and the transport abstraction.
+//!
+//! The pull-based repair protocol (PR 2) speaks exactly four messages,
+//! captured here as [`ProtocolMsg`]. How those messages move between
+//! peers is a [`Transport`] concern: the in-memory discrete-event
+//! [`Network`](crate::network::Network) is one implementation (latency,
+//! loss, partitions, fault injection on a simulated clock); `lt-net`
+//! provides a deterministic mock hub and a real length-framed TCP
+//! transport over the same vocabulary.
+
+use crate::message::{ContentId, TxMessage};
+
+/// One protocol message between two peers.
+///
+/// [`Publish`](ProtocolMsg::Publish) and [`Delta`](ProtocolMsg::Delta)
+/// both carry a full transaction and are handled identically on
+/// receipt; the distinction records *why* the transaction is on the
+/// wire (fresh flood vs repair back-fill), which matters for telemetry
+/// and wire-level accounting but never for replica state.
+#[derive(Clone, Debug)]
+pub enum ProtocolMsg {
+    /// A transaction flooding the topology from its publisher.
+    Publish(TxMessage),
+    /// "These are my current heads" — the receiver pushes back whatever
+    /// provably lies outside their closure and pulls any head it has
+    /// never seen.
+    Advertise {
+        /// Content ids of the advertiser's current tips.
+        heads: Vec<ContentId>,
+    },
+    /// "Send me these transactions" — answered from archive or orphan
+    /// buffer with [`ProtocolMsg::Delta`] replies.
+    Request {
+        /// Content ids the requester is missing.
+        wants: Vec<ContentId>,
+    },
+    /// A transaction re-sent in response to an advertise or request.
+    Delta(TxMessage),
+}
+
+impl ProtocolMsg {
+    /// The carried transaction, when the message carries one.
+    pub fn transaction(&self) -> Option<&TxMessage> {
+        match self {
+            ProtocolMsg::Publish(m) | ProtocolMsg::Delta(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// How protocol messages travel between peers.
+///
+/// `from`/`to` are peer indices in a fixed population. A transport is
+/// free to delay, reorder, or drop traffic — the protocol above it is
+/// built to heal — but must report a drop it can already observe at
+/// send time by returning `false` (and counting it, so accounting
+/// tests can reconcile counters against ground truth).
+pub trait Transport {
+    /// Queue `msg` for delivery from `from` to `to`. Returns whether
+    /// the transport accepted the message.
+    fn send(&mut self, from: usize, to: usize, msg: ProtocolMsg) -> bool;
+}

@@ -1,0 +1,667 @@
+//! The `lt-node` daemon: one gossip peer behind a TCP socket.
+//!
+//! Process layout:
+//!
+//! * the **protocol thread** (this module's main loop) owns the
+//!   [`NodeProtocol`], the training state, and the [`Router`]; it is the
+//!   only thread that mutates the replica, so no locking is needed on
+//!   the hot path;
+//! * one **reader thread** per connection parses frames and forwards
+//!   them to the protocol thread over a channel (counting
+//!   `net.frames_recv` / `net.bytes_recv` at the socket);
+//! * one **writer thread** per connection drains that connection's
+//!   bounded [`SendQueue`] (counting `net.frames_sent` /
+//!   `net.bytes_sent` after each successful write);
+//! * one **dialer thread** per higher-id peer keeps the outgoing
+//!   connection alive, reconnecting with exponential backoff (counted
+//!   under `net.reconnects`).
+//!
+//! Frames that cannot be handed to a writer are never silently lost:
+//! a send to a peer with no live connection counts as `net.rejected`,
+//! and a send that overflows a bounded queue counts as `net.dropped`.
+//!
+//! On startup the daemon prints `LISTEN <addr>` on stdout — the contract
+//! the [`crate::driver`] uses to find the ephemeral port.
+
+use crate::frame::{read_frame, StatusReport, WireMsg, CONTROL_PEER};
+use crate::preset::{Preset, ORPHAN_CAP};
+use crate::protocol::NodeProtocol;
+use crate::queue::SendQueue;
+use learning_tangle::node::Node;
+use learning_tangle::{EvalCache, ScratchPool, SimConfig, DEFAULT_EVAL_CACHE_CAPACITY};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+use tangle_gossip::learn::{consensus_eval, train_step};
+use tangle_gossip::{ProtocolMsg, Transport, TxMessage};
+use tangle_ledger::AnalysisCache;
+
+/// Configuration of one daemon process.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// This daemon's peer id (also its training node id).
+    pub id: usize,
+    /// Cluster population (= dataset clients).
+    pub nodes: usize,
+    /// Shared experiment seed (see [`Preset`]).
+    pub seed: u64,
+    /// Listen address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub listen: String,
+    /// Bound on each connection's send queue, in frames.
+    pub queue_cap: usize,
+    /// Interval between liveness pings to each connected peer, in
+    /// milliseconds (0 = off; keep off for deterministic frame counts).
+    pub ping_interval_ms: u64,
+}
+
+impl DaemonConfig {
+    /// Defaults for `id` of `nodes` peers at `seed`.
+    pub fn new(id: usize, nodes: usize, seed: u64) -> Self {
+        Self {
+            id,
+            nodes,
+            seed,
+            listen: "127.0.0.1:0".to_string(),
+            queue_cap: 1024,
+            ping_interval_ms: 0,
+        }
+    }
+}
+
+/// Routes outbound frames to per-connection send queues. The daemon's
+/// [`Transport`]: a gossip send becomes an encoded frame on the target
+/// connection's bounded queue.
+pub struct Router {
+    queues: HashMap<usize, (u64, SendQueue)>,
+    telemetry: lt_telemetry::Telemetry,
+}
+
+impl Router {
+    /// An empty router counting into `telemetry`.
+    pub fn new(telemetry: lt_telemetry::Telemetry) -> Self {
+        Self {
+            queues: HashMap::new(),
+            telemetry,
+        }
+    }
+
+    /// Register the live connection `token` to `peer`.
+    pub fn attach(&mut self, peer: usize, token: u64, queue: SendQueue) {
+        self.queues.insert(peer, (token, queue));
+    }
+
+    /// Drop the connection to `peer`, but only if `token` still names the
+    /// current one (a reconnect may already have replaced it).
+    pub fn detach(&mut self, peer: usize, token: u64) {
+        if self.queues.get(&peer).is_some_and(|(t, _)| *t == token) {
+            self.queues.remove(&peer);
+        }
+    }
+
+    /// Currently connected peer ids, ascending.
+    pub fn peer_ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.queues.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Live connection count.
+    pub fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// No live connections?
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// Enqueue one frame for `to`. `false` — with the loss accounted
+    /// under `net.rejected` (peer down) or `net.dropped` (queue
+    /// overflow) — when the frame will not reach the wire.
+    pub fn send_wire(&mut self, to: usize, msg: &WireMsg) -> bool {
+        let Some((_, q)) = self.queues.get(&to) else {
+            self.telemetry.count("net.rejected", 1);
+            return false;
+        };
+        if q.push(crate::frame::encode_frame(msg)) {
+            true
+        } else {
+            self.telemetry.count("net.dropped", 1);
+            false
+        }
+    }
+}
+
+impl Transport for Router {
+    fn send(&mut self, _from: usize, to: usize, msg: ProtocolMsg) -> bool {
+        self.send_wire(to, &WireMsg::from_protocol(msg))
+    }
+}
+
+enum Event {
+    /// A data connection to `peer` came up.
+    PeerUp {
+        peer: usize,
+        token: u64,
+        queue: SendQueue,
+    },
+    /// The data connection `token` to `peer` went down.
+    PeerDown { peer: usize, token: u64 },
+    /// A frame arrived from data peer `from`.
+    Peer { from: usize, msg: WireMsg },
+    /// A frame arrived on a control connection; replies go to `reply`.
+    Control { reply: SendQueue, msg: WireMsg },
+}
+
+/// Socket-level counter names for one direction of a connection class.
+/// Data connections (peer gossip) and control connections (the harness)
+/// are accounted separately so daemon-to-daemon totals stay symmetric:
+/// after quiescence, the data frames one daemon sent are exactly the
+/// data frames its peers received.
+#[derive(Clone, Copy)]
+struct WireCounters {
+    frames_sent: &'static str,
+    bytes_sent: &'static str,
+    frames_recv: &'static str,
+    bytes_recv: &'static str,
+}
+
+const DATA_COUNTERS: WireCounters = WireCounters {
+    frames_sent: "net.frames_sent",
+    bytes_sent: "net.bytes_sent",
+    frames_recv: "net.frames_recv",
+    bytes_recv: "net.bytes_recv",
+};
+
+const CTL_COUNTERS: WireCounters = WireCounters {
+    frames_sent: "net.ctl_frames_sent",
+    bytes_sent: "net.ctl_bytes_sent",
+    frames_recv: "net.ctl_frames_recv",
+    bytes_recv: "net.ctl_bytes_recv",
+};
+
+/// Spawn the writer thread draining `queue` into `stream`.
+fn spawn_writer(
+    stream: TcpStream,
+    queue: SendQueue,
+    telemetry: lt_telemetry::Telemetry,
+    counters: WireCounters,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut w = BufWriter::new(stream);
+        while let Some(frame) = queue.pop() {
+            if w.write_all(&frame).and_then(|_| w.flush()).is_err() {
+                break;
+            }
+            telemetry.count(counters.frames_sent, 1);
+            telemetry.count(counters.bytes_sent, frame.len() as u64);
+        }
+    })
+}
+
+/// Read frames from `r` until EOF or error, counting socket-level
+/// receive totals and handing each message to `deliver` (which returns
+/// `false` once the protocol thread is gone).
+fn read_loop(
+    r: &mut impl std::io::Read,
+    telemetry: &lt_telemetry::Telemetry,
+    counters: WireCounters,
+    mut deliver: impl FnMut(WireMsg) -> bool,
+) {
+    loop {
+        match read_frame(r) {
+            Ok(Some((msg, bytes))) => {
+                telemetry.count(counters.frames_recv, 1);
+                telemetry.count(counters.bytes_recv, bytes as u64);
+                if !deliver(msg) {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(_) => {
+                telemetry.count("net.recv_errors", 1);
+                return;
+            }
+        }
+    }
+}
+
+/// Handle one freshly accepted connection: classify by its `Hello`,
+/// register it, and pump its frames into the protocol thread.
+#[allow(clippy::too_many_arguments)]
+fn serve_conn(
+    stream: TcpStream,
+    genesis_id: u64,
+    queue_cap: usize,
+    token: u64,
+    events: Sender<Event>,
+    telemetry: lt_telemetry::Telemetry,
+) {
+    let write_half = stream.try_clone().expect("clone accepted socket");
+    // ONE buffered reader for the connection's whole life: bytes past the
+    // Hello may already sit in its buffer.
+    let mut r = BufReader::new(stream);
+    let (hello, hello_bytes) = match read_frame(&mut r) {
+        Ok(Some((WireMsg::Hello { peer, genesis }, bytes))) => {
+            if genesis != genesis_id {
+                // refuse to gossip across different ledgers
+                return;
+            }
+            (peer, bytes)
+        }
+        _ => return,
+    };
+    let counters = if hello == CONTROL_PEER {
+        CTL_COUNTERS
+    } else {
+        DATA_COUNTERS
+    };
+    telemetry.count(counters.frames_recv, 1);
+    telemetry.count(counters.bytes_recv, hello_bytes as u64);
+    let queue = SendQueue::new(queue_cap);
+    let writer = spawn_writer(write_half, queue.clone(), telemetry.clone(), counters);
+    if hello == CONTROL_PEER {
+        read_loop(&mut r, &telemetry, counters, |msg| {
+            events
+                .send(Event::Control {
+                    reply: queue.clone(),
+                    msg,
+                })
+                .is_ok()
+        });
+    } else {
+        let peer = hello as usize;
+        if events
+            .send(Event::PeerUp {
+                peer,
+                token,
+                queue: queue.clone(),
+            })
+            .is_err()
+        {
+            queue.close();
+            return;
+        }
+        read_loop(&mut r, &telemetry, counters, |msg| {
+            events.send(Event::Peer { from: peer, msg }).is_ok()
+        });
+        let _ = events.send(Event::PeerDown { peer, token });
+    }
+    queue.close();
+    let _ = writer.join();
+}
+
+/// Everything a dialer thread needs to know about one outgoing link.
+struct Dial {
+    self_id: usize,
+    peer: usize,
+    addr: String,
+    genesis_id: u64,
+    queue_cap: usize,
+    token_base: u64,
+}
+
+/// Keep the outgoing connection to `peer` alive: dial, handshake,
+/// register, pump inbound frames; on failure back off exponentially and
+/// redial (counted under `net.reconnects`). Gives up once the protocol
+/// thread is gone.
+fn dial_loop(dial: Dial, events: Sender<Event>, telemetry: lt_telemetry::Telemetry) {
+    let Dial {
+        self_id,
+        peer,
+        addr,
+        genesis_id,
+        queue_cap,
+        token_base,
+    } = dial;
+    let mut backoff_exp: u32 = 0;
+    let mut conn_seq: u64 = 0;
+    loop {
+        if let Ok(stream) = TcpStream::connect(&addr) {
+            let _ = stream.set_nodelay(true);
+            let hello = crate::frame::encode_frame(&WireMsg::Hello {
+                peer: self_id as u64,
+                genesis: genesis_id,
+            });
+            let mut write_half = stream.try_clone().expect("clone dialed socket");
+            if write_half.write_all(&hello).is_ok() {
+                telemetry.count("net.frames_sent", 1);
+                telemetry.count("net.bytes_sent", hello.len() as u64);
+                backoff_exp = 0;
+                conn_seq += 1;
+                // distinct odd token per connection incarnation
+                let token = token_base + (conn_seq << 32);
+                let queue = SendQueue::new(queue_cap);
+                let writer =
+                    spawn_writer(write_half, queue.clone(), telemetry.clone(), DATA_COUNTERS);
+                if events
+                    .send(Event::PeerUp {
+                        peer,
+                        token,
+                        queue: queue.clone(),
+                    })
+                    .is_err()
+                {
+                    queue.close();
+                    return;
+                }
+                let mut r = BufReader::new(stream);
+                read_loop(&mut r, &telemetry, DATA_COUNTERS, |msg| {
+                    events.send(Event::Peer { from: peer, msg }).is_ok()
+                });
+                queue.close();
+                let _ = writer.join();
+                if events.send(Event::PeerDown { peer, token }).is_err() {
+                    return;
+                }
+            }
+        }
+        // the connection failed or died: reconnect with backoff
+        telemetry.count("net.reconnects", 1);
+        backoff_exp = (backoff_exp + 1).min(6);
+        std::thread::sleep(Duration::from_millis(25u64 << backoff_exp));
+        // cheap liveness probe: a detach for a token that was never
+        // attached is a no-op, but a closed channel ends the dialer
+        if events
+            .send(Event::PeerDown {
+                peer,
+                token: token_base,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Per-daemon training state: the full (deterministically regenerated)
+/// node population, of which this daemon trains as node `id`.
+struct Learner {
+    nodes: Vec<Node>,
+    cache: AnalysisCache,
+    eval: EvalCache,
+    scratch: ScratchPool<'static>,
+    cfg: SimConfig,
+    last_slot: u64,
+}
+
+/// Run the daemon until a `Shutdown` control frame arrives. Blocks the
+/// calling thread; this is the whole life of an `lt-node` process.
+pub fn run_daemon(cfg: DaemonConfig) -> std::io::Result<()> {
+    assert!(cfg.id < cfg.nodes, "daemon id out of range");
+    let preset = Preset {
+        nodes: cfg.nodes,
+        seed: cfg.seed,
+    };
+    let genesis = preset.genesis();
+    let genesis_id = genesis.content_id().0;
+    let telemetry = lt_telemetry::Telemetry::new(lt_telemetry::MemorySink::new());
+
+    let mut proto = NodeProtocol::new(cfg.id, &genesis, 0, ORPHAN_CAP);
+    proto.set_telemetry(telemetry.clone());
+    let mut learner = Learner {
+        nodes: preset.population(),
+        cache: AnalysisCache::new(proto.peer().replica()),
+        eval: EvalCache::new(DEFAULT_EVAL_CACHE_CAPACITY),
+        scratch: ScratchPool::new(Box::new(Preset::build)),
+        cfg: preset.sim_cfg(),
+        last_slot: 0,
+    };
+    let mut router = Router::new(telemetry.clone());
+
+    let listener = TcpListener::bind(&cfg.listen)?;
+    let addr = listener.local_addr()?;
+    // the spawn contract: the driver parses this line for the port
+    println!("LISTEN {addr}");
+    std::io::stdout().flush()?;
+
+    let (events_tx, events_rx): (Sender<Event>, Receiver<Event>) = mpsc::channel();
+    {
+        let tx = events_tx.clone();
+        let tel = telemetry.clone();
+        let queue_cap = cfg.queue_cap;
+        std::thread::spawn(move || {
+            for (i, stream) in listener.incoming().enumerate() {
+                let Ok(stream) = stream else { continue };
+                let _ = stream.set_nodelay(true);
+                let tx = tx.clone();
+                let tel = tel.clone();
+                // even tokens for accepted connections, odd for dialed
+                let token = (i as u64) << 1;
+                std::thread::spawn(move || {
+                    serve_conn(stream, genesis_id, queue_cap, token, tx, tel)
+                });
+            }
+        });
+    }
+
+    let start = Instant::now();
+    let now_ms = |start: &Instant| start.elapsed().as_millis() as u64;
+    let now_us = |start: &Instant| start.elapsed().as_micros() as u64;
+    let mut dialed: HashMap<usize, String> = HashMap::new();
+    let mut dial_tokens: u64 = 1;
+    let mut next_ping = u64::MAX;
+    let mut ping_nonce: u64 = 0;
+
+    loop {
+        let now = now_ms(&start);
+        let mut deadline = now + 50;
+        if let Some(wake) = proto.next_wake() {
+            deadline = deadline.min(wake.max(now));
+        }
+        deadline = deadline.min(next_ping.max(now));
+        let event = match events_rx.recv_timeout(Duration::from_millis(deadline - now)) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let now = now_ms(&start);
+        proto.set_now(now);
+
+        match event {
+            Some(Event::PeerUp { peer, token, queue }) => {
+                router.attach(peer, token, queue);
+                proto.set_neighbours(router.peer_ids());
+                // pull whatever the newly reachable peer has that we lack
+                let heads = proto.peer().heads();
+                router.send_wire(peer, &WireMsg::Advertise { heads });
+                if cfg.ping_interval_ms > 0 && next_ping == u64::MAX {
+                    next_ping = now + cfg.ping_interval_ms;
+                }
+            }
+            Some(Event::PeerDown { peer, token }) => {
+                router.detach(peer, token);
+                proto.set_neighbours(router.peer_ids());
+            }
+            Some(Event::Peer { from, msg }) => match msg {
+                WireMsg::Ping { nonce, sent_us } => {
+                    router.send_wire(from, &WireMsg::Pong { nonce, sent_us });
+                }
+                WireMsg::Pong { sent_us, .. } => {
+                    telemetry.record("net.rtt_us", now_us(&start).saturating_sub(sent_us));
+                }
+                other => {
+                    if let Some(pm) = other.into_protocol() {
+                        proto.on_message(from, pm, &mut router);
+                    }
+                }
+            },
+            Some(Event::Control { reply, msg }) => {
+                let quit = handle_control(
+                    &msg,
+                    &reply,
+                    &mut proto,
+                    &mut learner,
+                    &mut router,
+                    &telemetry,
+                    &cfg,
+                    genesis_id,
+                    &mut dialed,
+                    &mut dial_tokens,
+                    &events_tx,
+                );
+                if quit {
+                    break;
+                }
+            }
+            None => {}
+        }
+
+        let now = now_ms(&start);
+        if proto.next_wake().is_some_and(|wake| wake <= now) {
+            proto.tick(now, &mut router);
+        }
+        if cfg.ping_interval_ms > 0 && now >= next_ping && !router.is_empty() {
+            ping_nonce += 1;
+            let ping = WireMsg::Ping {
+                nonce: ping_nonce,
+                sent_us: now_us(&start),
+            };
+            for id in router.peer_ids() {
+                router.send_wire(id, &ping);
+            }
+            next_ping = now + cfg.ping_interval_ms;
+        }
+    }
+    Ok(())
+}
+
+/// Handle one control-plane request; `true` means shut down.
+#[allow(clippy::too_many_arguments)]
+fn handle_control(
+    msg: &WireMsg,
+    reply: &SendQueue,
+    proto: &mut NodeProtocol,
+    learner: &mut Learner,
+    router: &mut Router,
+    telemetry: &lt_telemetry::Telemetry,
+    cfg: &DaemonConfig,
+    genesis_id: u64,
+    dialed: &mut HashMap<usize, String>,
+    dial_tokens: &mut u64,
+    events_tx: &Sender<Event>,
+) -> bool {
+    let respond = |m: &WireMsg| {
+        let frame = crate::frame::encode_frame(m);
+        if !reply.push(frame) {
+            telemetry.count("net.ctl_dropped", 1);
+        }
+    };
+    match msg {
+        WireMsg::Activate { slot } => {
+            let outcome = {
+                let _span = telemetry.span("net.activate_us");
+                train_step(
+                    proto.peer().replica(),
+                    &mut learner.cache,
+                    &learner.nodes[proto.id()],
+                    proto.id(),
+                    *slot,
+                    &learner.scratch,
+                    &learner.cfg,
+                    Some(&mut learner.eval),
+                    telemetry,
+                )
+            };
+            let published = match outcome.publish {
+                Some(p) => {
+                    let parents = p
+                        .parents
+                        .iter()
+                        .map(|id| proto.peer().content_id_of(*id))
+                        .collect();
+                    let msg = TxMessage::create(&p.params, parents, proto.id() as u64, *slot, 0);
+                    proto.publish(msg, router);
+                    telemetry.count("net.published", 1);
+                    true
+                }
+                None => {
+                    telemetry.count("net.discarded", 1);
+                    false
+                }
+            };
+            learner.last_slot = *slot;
+            respond(&WireMsg::Activated {
+                slot: *slot,
+                published,
+                len: proto.peer().len() as u32,
+            });
+        }
+        WireMsg::StatusReq => {
+            respond(&WireMsg::Status(StatusReport {
+                len: proto.peer().len() as u32,
+                orphans: proto.peer().orphan_count() as u32,
+                missing: proto.peer().missing().len() as u32,
+                connected: router.len() as u32,
+                last_slot: learner.last_slot,
+            }));
+        }
+        WireMsg::ArchiveReq => {
+            respond(&WireMsg::Archive(proto.peer().export_messages()));
+        }
+        WireMsg::EvalReq { slot, eval_seed } => {
+            let (loss, acc) = consensus_eval(
+                proto.peer().replica(),
+                &learner.nodes,
+                &learner.scratch,
+                &learner.cfg,
+                *slot,
+                *eval_seed,
+            );
+            respond(&WireMsg::Eval {
+                loss_bits: loss.to_bits(),
+                acc_bits: acc.to_bits(),
+            });
+        }
+        WireMsg::MetricsReq => {
+            let (counters, histograms) = match telemetry.metrics_snapshot() {
+                Some(snap) => (
+                    snap.counters.into_iter().collect(),
+                    snap.histograms
+                        .into_iter()
+                        .map(|(name, h)| (name, h.count, h.sum))
+                        .collect(),
+                ),
+                None => (Vec::new(), Vec::new()),
+            };
+            respond(&WireMsg::Metrics {
+                counters,
+                histograms,
+            });
+        }
+        WireMsg::Connect { peers } => {
+            // dial every higher-id peer (one socket per unordered pair)
+            for (pid, addr) in peers {
+                let pid = *pid as usize;
+                if pid <= cfg.id || pid >= cfg.nodes || dialed.contains_key(&pid) {
+                    continue;
+                }
+                dialed.insert(pid, addr.clone());
+                *dial_tokens += 2; // odd tokens for dialed connections
+                let token_base = *dial_tokens | 1;
+                let tx = events_tx.clone();
+                let tel = telemetry.clone();
+                let dial = Dial {
+                    self_id: cfg.id,
+                    peer: pid,
+                    addr: addr.clone(),
+                    genesis_id,
+                    queue_cap: cfg.queue_cap,
+                    token_base,
+                };
+                std::thread::spawn(move || dial_loop(dial, tx, tel));
+            }
+        }
+        WireMsg::Ping { nonce, sent_us } => {
+            respond(&WireMsg::Pong {
+                nonce: *nonce,
+                sent_us: *sent_us,
+            });
+        }
+        WireMsg::Shutdown => return true,
+        _ => {}
+    }
+    false
+}

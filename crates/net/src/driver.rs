@@ -1,0 +1,473 @@
+//! Spawn and drive a cluster of local `lt-node` daemons.
+//!
+//! The driver is the control plane of a multi-process run: it launches
+//! one daemon per peer, wires them into a full mesh via `Connect`, and
+//! then drives activations over the control connections. Two modes:
+//!
+//! * [`Cluster::lockstep`] — one activation at a time, waiting for full
+//!   convergence (equal replica lengths, no orphans, nothing missing)
+//!   after each publish. Under lockstep, every replica inserts every
+//!   transaction in publish order, so the run is byte-comparable with
+//!   the in-process executors on the same schedule.
+//! * [`Cluster::throughput`] — sustained publish traffic on a scripted
+//!   slot-striped schedule, one driver thread per daemon, reporting
+//!   wall-clock throughput plus the daemons' socket-level frame/byte
+//!   counters and RTT histograms.
+
+use crate::frame::{read_frame, write_frame, StatusReport, WireMsg, CONTROL_PEER};
+use crate::preset::Preset;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use tangle_gossip::TxMessage;
+
+/// One synchronous request/response control connection to a daemon.
+pub struct ControlConn {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+}
+
+impl ControlConn {
+    /// Connect to a daemon's control plane and identify as the harness.
+    pub fn connect(addr: &str, genesis_id: u64) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut conn = Self {
+            writer: BufWriter::new(stream.try_clone()?),
+            reader: BufReader::new(stream),
+        };
+        conn.send(&WireMsg::Hello {
+            peer: CONTROL_PEER,
+            genesis: genesis_id,
+        })?;
+        Ok(conn)
+    }
+
+    /// Fire-and-forget (used for `Connect` and `Shutdown`).
+    pub fn send(&mut self, msg: &WireMsg) -> io::Result<()> {
+        write_frame(&mut self.writer, msg)?;
+        self.writer.flush()
+    }
+
+    /// Send a request and block for the daemon's next reply frame.
+    pub fn request(&mut self, msg: &WireMsg) -> io::Result<WireMsg> {
+        self.send(msg)?;
+        match read_frame(&mut self.reader)? {
+            Some((reply, _)) => Ok(reply),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the control connection",
+            )),
+        }
+    }
+
+    /// Round-trip a ping; returns the measured RTT.
+    pub fn ping(&mut self, nonce: u64) -> io::Result<Duration> {
+        let t0 = Instant::now();
+        match self.request(&WireMsg::Ping { nonce, sent_us: 0 })? {
+            WireMsg::Pong { nonce: n, .. } if n == nonce => Ok(t0.elapsed()),
+            other => Err(bad_reply("Pong", &other)),
+        }
+    }
+}
+
+fn bad_reply(expected: &str, got: &WireMsg) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("expected {expected} reply, got {got:?}"),
+    )
+}
+
+/// Locate the `lt-node` binary: `$LT_NODE_BIN` if set, else a sibling of
+/// the current executable (the cargo target directory).
+pub fn default_node_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("LT_NODE_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().unwrap_or_else(|_| PathBuf::from("lt-node"));
+    p.pop();
+    // integration tests live in target/debug/deps; the binary one up
+    for candidate in [
+        p.join("lt-node"),
+        p.parent().map(|d| d.join("lt-node")).unwrap_or_default(),
+    ] {
+        if candidate.is_file() {
+            return candidate;
+        }
+    }
+    PathBuf::from("lt-node")
+}
+
+/// Summary of a lockstep run.
+#[derive(Clone, Copy, Debug)]
+pub struct LockstepReport {
+    /// Activations driven.
+    pub activations: usize,
+    /// Activations that published.
+    pub published: u64,
+    /// Final replica length on every daemon (genesis included).
+    pub final_len: usize,
+}
+
+/// Summary of a throughput run.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Activations driven (all daemons).
+    pub activations: usize,
+    /// Activations that published.
+    pub published: u64,
+    /// Driving wall-clock.
+    pub wall: Duration,
+    /// Extra wall-clock spent waiting for replica convergence afterwards.
+    pub drain: Duration,
+    /// Final replica length on every daemon.
+    pub final_len: usize,
+    /// Sum of `net.frames_sent` over all daemons.
+    pub frames_sent: u64,
+    /// Sum of `net.bytes_sent` over all daemons.
+    pub bytes_sent: u64,
+    /// Sum of `net.frames_recv` over all daemons.
+    pub frames_recv: u64,
+    /// Sum of `net.bytes_recv` over all daemons.
+    pub bytes_recv: u64,
+    /// Pooled `net.rtt_us` histogram totals `(count, sum_us)`.
+    pub rtt: (u64, u64),
+    /// Sum of `net.dropped` (queue overflow) over all daemons.
+    pub dropped: u64,
+    /// Sum of `net.rejected` (peer down) over all daemons.
+    pub rejected: u64,
+}
+
+impl ThroughputReport {
+    /// Activations per second of driving wall-clock.
+    pub fn activations_per_sec(&self) -> f64 {
+        self.activations as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Mean measured peer-to-peer RTT, if any pings flowed.
+    pub fn mean_rtt_us(&self) -> Option<f64> {
+        (self.rtt.0 > 0).then(|| self.rtt.1 as f64 / self.rtt.0 as f64)
+    }
+}
+
+/// A running cluster of `lt-node` daemons plus control connections.
+pub struct Cluster {
+    procs: Vec<Child>,
+    controls: Vec<ControlConn>,
+    preset: Preset,
+}
+
+impl Cluster {
+    /// Spawn `nodes` daemons of the `(nodes, seed)` preset from `bin`,
+    /// wire them into a full mesh, and wait until every daemon reports
+    /// all its data connections up.
+    pub fn spawn(bin: &Path, nodes: usize, seed: u64, ping_interval_ms: u64) -> io::Result<Self> {
+        let preset = Preset { nodes, seed };
+        let genesis_id = preset.genesis().content_id().0;
+        let mut procs = Vec::with_capacity(nodes);
+        let mut addrs = Vec::with_capacity(nodes);
+        for id in 0..nodes {
+            let mut child = Command::new(bin)
+                .args([
+                    "--id",
+                    &id.to_string(),
+                    "--nodes",
+                    &nodes.to_string(),
+                    "--seed",
+                    &seed.to_string(),
+                    "--listen",
+                    "127.0.0.1:0",
+                    "--ping-ms",
+                    &ping_interval_ms.to_string(),
+                ])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()?;
+            let stdout = child.stdout.take().expect("stdout piped");
+            let addr = read_listen_line(stdout)?;
+            procs.push(child);
+            addrs.push(addr);
+        }
+        let mut controls = Vec::with_capacity(nodes);
+        for addr in &addrs {
+            controls.push(ControlConn::connect(addr, genesis_id)?);
+        }
+        let peers: Vec<(u64, String)> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i as u64, a.clone()))
+            .collect();
+        let mut cluster = Self {
+            procs,
+            controls,
+            preset,
+        };
+        for c in &mut cluster.controls {
+            c.send(&WireMsg::Connect {
+                peers: peers.clone(),
+            })?;
+        }
+        cluster.wait_mesh(Duration::from_secs(10))?;
+        Ok(cluster)
+    }
+
+    /// The preset the cluster runs.
+    pub fn preset(&self) -> Preset {
+        self.preset
+    }
+
+    /// Daemon count.
+    pub fn len(&self) -> usize {
+        self.controls.len()
+    }
+
+    /// Clusters are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.controls.is_empty()
+    }
+
+    fn wait_mesh(&mut self, timeout: Duration) -> io::Result<()> {
+        let want = (self.controls.len() - 1) as u32;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let st = self.status()?;
+            if st.iter().all(|s| s.connected >= want) {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("mesh not up: {st:?}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Poll each daemon's status once.
+    pub fn status(&mut self) -> io::Result<Vec<StatusReport>> {
+        self.controls
+            .iter_mut()
+            .map(|c| match c.request(&WireMsg::StatusReq)? {
+                WireMsg::Status(s) => Ok(s),
+                other => Err(bad_reply("Status", &other)),
+            })
+            .collect()
+    }
+
+    /// Wait until every replica reports length `len` with no orphans and
+    /// nothing missing.
+    pub fn wait_converged(&mut self, len: usize, timeout: Duration) -> io::Result<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let st = self.status()?;
+            if st
+                .iter()
+                .all(|s| s.len as usize == len && s.orphans == 0 && s.missing == 0)
+            {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("no convergence to len {len}: {st:?}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Drive `schedule` in lockstep: activation `k` runs at global slot
+    /// `k + 1` on daemon `schedule[k]`, and the cluster must fully
+    /// converge before the next activation fires.
+    pub fn lockstep(&mut self, schedule: &[usize]) -> io::Result<LockstepReport> {
+        let mut expected_len = 1usize; // genesis
+        let mut published = 0u64;
+        for (k, &peer) in schedule.iter().enumerate() {
+            let slot = (k + 1) as u64;
+            match self.controls[peer].request(&WireMsg::Activate { slot })? {
+                WireMsg::Activated { published: did, .. } => {
+                    if did {
+                        expected_len += 1;
+                        published += 1;
+                    }
+                }
+                other => return Err(bad_reply("Activated", &other)),
+            }
+            self.wait_converged(expected_len, Duration::from_secs(20))?;
+        }
+        Ok(LockstepReport {
+            activations: schedule.len(),
+            published,
+            final_len: expected_len,
+        })
+    }
+
+    /// Drive sustained publish traffic: `per_node` activations on every
+    /// daemon concurrently (one driver thread each), slots striped so
+    /// daemon `i`'s `k`-th activation runs at global slot
+    /// `k * nodes + i + 1`. Returns throughput plus the daemons' own
+    /// socket-level accounting.
+    pub fn throughput(&mut self, per_node: usize) -> io::Result<ThroughputReport> {
+        let n = self.controls.len();
+        let t0 = Instant::now();
+        let published: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .controls
+                .iter_mut()
+                .enumerate()
+                .map(|(i, conn)| {
+                    scope.spawn(move || -> io::Result<u64> {
+                        let mut published = 0;
+                        for k in 0..per_node {
+                            let slot = (k * n + i + 1) as u64;
+                            match conn.request(&WireMsg::Activate { slot })? {
+                                WireMsg::Activated { published: did, .. } => {
+                                    published += u64::from(did)
+                                }
+                                other => return Err(bad_reply("Activated", &other)),
+                            }
+                        }
+                        Ok(published)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("driver thread panicked"))
+                .sum::<io::Result<u64>>()
+        })?;
+        let wall = t0.elapsed();
+        // drain: converge on the common final length
+        let final_len = 1 + published as usize;
+        let t1 = Instant::now();
+        self.wait_converged(final_len, Duration::from_secs(60))?;
+        let drain = t1.elapsed();
+        let metrics = self.metrics()?;
+        let counter = |name: &str| -> u64 {
+            metrics
+                .iter()
+                .flat_map(|(c, _)| c.iter())
+                .filter(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .sum()
+        };
+        let rtt = metrics
+            .iter()
+            .flat_map(|(_, h)| h.iter())
+            .filter(|(n, _, _)| n == "net.rtt_us")
+            .fold((0, 0), |acc, (_, c, s)| (acc.0 + c, acc.1 + s));
+        Ok(ThroughputReport {
+            activations: per_node * n,
+            published,
+            wall,
+            drain,
+            final_len,
+            frames_sent: counter("net.frames_sent"),
+            bytes_sent: counter("net.bytes_sent"),
+            frames_recv: counter("net.frames_recv"),
+            bytes_recv: counter("net.bytes_recv"),
+            rtt,
+            dropped: counter("net.dropped"),
+            rejected: counter("net.rejected"),
+        })
+    }
+
+    /// Fetch every daemon's replica archive (insertion order, genesis
+    /// excluded).
+    pub fn archives(&mut self) -> io::Result<Vec<Vec<TxMessage>>> {
+        self.controls
+            .iter_mut()
+            .map(|c| match c.request(&WireMsg::ArchiveReq)? {
+                WireMsg::Archive(msgs) => Ok(msgs),
+                other => Err(bad_reply("Archive", &other)),
+            })
+            .collect()
+    }
+
+    /// Ask every daemon for its consensus evaluation at `slot`.
+    pub fn evaluate(&mut self, slot: u64, eval_seed: u64) -> io::Result<Vec<(u32, u32)>> {
+        self.controls
+            .iter_mut()
+            .map(
+                |c| match c.request(&WireMsg::EvalReq { slot, eval_seed })? {
+                    WireMsg::Eval {
+                        loss_bits,
+                        acc_bits,
+                    } => Ok((loss_bits, acc_bits)),
+                    other => Err(bad_reply("Eval", &other)),
+                },
+            )
+            .collect()
+    }
+
+    /// Fetch every daemon's telemetry counters and histogram totals.
+    #[allow(clippy::type_complexity)]
+    pub fn metrics(&mut self) -> io::Result<Vec<(Vec<(String, u64)>, Vec<(String, u64, u64)>)>> {
+        self.controls
+            .iter_mut()
+            .map(|c| match c.request(&WireMsg::MetricsReq)? {
+                WireMsg::Metrics {
+                    counters,
+                    histograms,
+                } => Ok((counters, histograms)),
+                other => Err(bad_reply("Metrics", &other)),
+            })
+            .collect()
+    }
+
+    /// Shut every daemon down and reap the processes.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        for c in &mut self.controls {
+            let _ = c.send(&WireMsg::Shutdown);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        for child in &mut self.procs {
+            loop {
+                match child.try_wait()? {
+                    Some(_) => break,
+                    None if Instant::now() > deadline => {
+                        child.kill()?;
+                        child.wait()?;
+                        break;
+                    }
+                    None => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for c in &mut self.controls {
+            let _ = c.send(&WireMsg::Shutdown);
+        }
+        for child in &mut self.procs {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Parse the daemon's `LISTEN <addr>` startup line.
+fn read_listen_line(stdout: impl Read) -> io::Result<String> {
+    let mut r = BufReader::new(stdout);
+    let mut line = String::new();
+    // std's read_line
+    std::io::BufRead::read_line(&mut r, &mut line)?;
+    let addr = line
+        .trim()
+        .strip_prefix("LISTEN ")
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("daemon did not announce its port: {line:?}"),
+            )
+        })?
+        .to_string();
+    Ok(addr)
+}

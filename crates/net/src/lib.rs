@@ -1,0 +1,52 @@
+//! # lt-net — the learning tangle over real sockets
+//!
+//! Everything below [`tangle_gossip`]'s protocol layer so far ran inside
+//! one process: the discrete-event [`Network`](tangle_gossip::Network) is
+//! the in-memory [`Transport`](tangle_gossip::Transport). This crate is
+//! the other implementation of that boundary — a length-framed TCP wire
+//! protocol and the `lt-node` daemon, one gossip peer per process:
+//!
+//! * [`frame`] — the versioned `LTNT` frame format: header, payload,
+//!   FNV-1a trailer; total decoding (malformed input is an error, never a
+//!   panic; oversized length prefixes are rejected before allocation).
+//!   [`frame::WireMsg`] maps 1:1 onto the four
+//!   [`ProtocolMsg`](tangle_gossip::ProtocolMsg) variants plus liveness
+//!   probes and the control plane the scale harness drives daemons with.
+//! * [`protocol`] — [`NodeProtocol`]: one peer's protocol engine
+//!   (receive/forward flooding, head advertisement, pull-based repair
+//!   with rotating neighbours and exponential backoff), written against
+//!   the [`Transport`](tangle_gossip::Transport) trait so the same state
+//!   machine runs over TCP, over the in-memory simulator, and over the
+//!   deterministic mock.
+//! * [`mock`] — [`MockTransport`]: a seeded, clock-explicit transport
+//!   with [`FaultPlan`](tangle_gossip::FaultPlan)-style drop / duplicate
+//!   / reorder perturbations, for socket-free protocol tests.
+//! * [`queue`] — bounded per-connection send queues; overflow is counted
+//!   (`net.dropped`), never silently swallowed.
+//! * [`preset`] — the shared conformance experiment (dataset, model,
+//!   config, genesis) every executor of a cross-process differential run
+//!   reconstructs independently.
+//! * [`daemon`] — the `lt-node` daemon: listener, per-connection
+//!   read/write loops, reconnect-with-backoff, telemetry counters.
+//! * [`driver`] — spawns N local daemons and drives them: a lockstep
+//!   schedule for byte-agreement with the in-process executors, and a
+//!   sustained-publish throughput/latency benchmark.
+
+pub mod daemon;
+pub mod driver;
+pub mod frame;
+pub mod mock;
+pub mod preset;
+pub mod protocol;
+pub mod queue;
+
+pub use daemon::{run_daemon, DaemonConfig};
+pub use driver::{default_node_bin, Cluster, LockstepReport, ThroughputReport};
+pub use frame::{
+    decode_frame, encode_frame, read_frame, write_frame, FrameError, StatusReport, WireMsg,
+    CONTROL_PEER, MAX_PAYLOAD,
+};
+pub use mock::MockTransport;
+pub use preset::{Preset, ORPHAN_CAP};
+pub use protocol::NodeProtocol;
+pub use queue::SendQueue;

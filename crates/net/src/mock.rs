@@ -1,0 +1,172 @@
+//! Deterministic in-memory transport for socket-free protocol tests.
+//!
+//! [`MockTransport`] implements [`Transport`] as a seeded discrete-event
+//! queue with an explicit clock: sends are scheduled with drawn latency
+//! and — when a [`FaultPlan`] is armed — perturbed by its drop /
+//! duplicate / corrupt / reorder rates, exactly the fault model of the
+//! in-process simulator. Tests pop due deliveries and feed them into
+//! [`crate::NodeProtocol`]s by hand, so every interleaving is replayable
+//! from the seed alone.
+
+use rand::RngExt;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use tangle_gossip::{FaultPlan, ProtocolMsg, Transport};
+use tinynn::rng::{derive, seeded, Rng};
+
+/// One scheduled delivery.
+pub struct Delivery {
+    /// Delivery time on the mock clock.
+    pub at: u64,
+    /// Sending node.
+    pub from: usize,
+    /// Receiving node.
+    pub to: usize,
+    /// The message.
+    pub msg: ProtocolMsg,
+}
+
+/// Seeded, clock-explicit mock transport.
+pub struct MockTransport {
+    now: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(u64, u64)>>,
+    pending: HashMap<u64, Delivery>,
+    latency: (u64, u64),
+    plan: FaultPlan,
+    rng: Rng,
+    fault_rng: Rng,
+    /// Sends attempted via [`Transport::send`].
+    pub sent: u64,
+    /// Sends the loss model (or fault drop rate) discarded.
+    pub dropped: u64,
+}
+
+impl MockTransport {
+    /// A mock with per-hop latency drawn from `latency.0..=latency.1`
+    /// ticks and a benign fault plan.
+    pub fn new(seed: u64, latency: (u64, u64)) -> Self {
+        Self {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            pending: HashMap::new(),
+            latency: (latency.0, latency.1.max(latency.0)),
+            plan: FaultPlan::default(),
+            rng: seeded(derive(seed, 0x30C4)),
+            fault_rng: seeded(derive(seed, 0xFA017)),
+            sent: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Arm a fault plan (crash events are ignored — the mock has no
+    /// peer lifecycle; drop/duplicate/corrupt/reorder apply per hop).
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.fault_rng = seeded(derive(plan.seed, 0xFA017));
+        self.plan = plan;
+    }
+
+    /// Current mock time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Deliveries still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Time of the next scheduled delivery, if any.
+    pub fn next_at(&self) -> Option<u64> {
+        self.queue.peek().map(|Reverse((at, _))| *at)
+    }
+
+    /// Pop the next delivery, advancing the clock to it.
+    pub fn pop_next(&mut self) -> Option<Delivery> {
+        let Reverse((at, key)) = self.queue.pop()?;
+        let d = self.pending.remove(&key).expect("delivery recorded");
+        self.now = self.now.max(at);
+        Some(d)
+    }
+
+    /// Pop the next delivery only if it is due by `deadline`.
+    pub fn pop_due(&mut self, deadline: u64) -> Option<Delivery> {
+        if self.next_at()? > deadline {
+            return None;
+        }
+        self.pop_next()
+    }
+
+    /// Advance the clock without delivering (models idle waiting).
+    pub fn advance_to(&mut self, at: u64) {
+        self.now = self.now.max(at);
+    }
+
+    fn schedule(&mut self, at: u64, d: Delivery) {
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq)));
+        self.pending.insert(self.seq, d);
+    }
+}
+
+impl Transport for MockTransport {
+    fn send(&mut self, from: usize, to: usize, msg: ProtocolMsg) -> bool {
+        self.sent += 1;
+        let base_delay = self.rng.random_range(self.latency.0..=self.latency.1);
+        let mut msg = msg;
+        let mut delays = vec![base_delay];
+        let f = &self.plan;
+        if f.drop > 0.0 && self.fault_rng.random_range(0.0..1.0) < f.drop {
+            self.dropped += 1;
+            return false;
+        }
+        if f.duplicate > 0.0 && self.fault_rng.random_range(0.0..1.0) < f.duplicate {
+            delays.push(base_delay);
+        }
+        if f.corrupt > 0.0 {
+            if let ProtocolMsg::Publish(m) | ProtocolMsg::Delta(m) = &mut msg {
+                if self.fault_rng.random_range(0.0..1.0) < f.corrupt && !m.payload.is_empty() {
+                    let idx = self.fault_rng.random_range(0..m.payload.len());
+                    let bit = 1u8 << self.fault_rng.random_range(0..8u32);
+                    let mut bytes = m.payload.to_vec();
+                    bytes[idx] ^= bit;
+                    m.payload = bytes.into();
+                }
+            }
+        }
+        if f.reorder_jitter > 0 {
+            for d in delays.iter_mut() {
+                *d += self.fault_rng.random_range(0..=f.reorder_jitter);
+            }
+        }
+        if delays.len() > 1 {
+            // independent latency for the duplicate copy
+            delays[1] = self.rng.random_range(self.latency.0..=self.latency.1)
+                + if f.reorder_jitter > 0 {
+                    self.fault_rng.random_range(0..=f.reorder_jitter)
+                } else {
+                    0
+                };
+        }
+        let last = delays.len() - 1;
+        let now = self.now;
+        for (i, delay) in delays.clone().into_iter().enumerate() {
+            let m = if i == last {
+                std::mem::replace(&mut msg, ProtocolMsg::Request { wants: Vec::new() })
+            } else {
+                msg.clone()
+            };
+            self.schedule(
+                now + delay,
+                Delivery {
+                    at: now + delay,
+                    from,
+                    to,
+                    msg: m,
+                },
+            );
+        }
+        true
+    }
+}

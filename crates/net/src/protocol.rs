@@ -1,0 +1,267 @@
+//! One peer's protocol engine, written against the transport boundary.
+//!
+//! [`NodeProtocol`] is the per-node half of what
+//! [`tangle_gossip::Network`] does monolithically: receive-and-forward
+//! flooding, advertise/request/delta repair, bounded re-requests with
+//! exponential backoff and rotating neighbour selection. The semantics
+//! mirror the simulator's `deliver` / `repair_tick` exactly — same
+//! attempt bookkeeping (`attempts: missing cid → (attempt, next_at)`),
+//! same backoff (`backoff_base << attempt`, shift capped at 16), same
+//! neighbour rotation (`nbrs[(attempt + cid) % len]`) — so the state
+//! machine tested deterministically over [`crate::MockTransport`] is the
+//! one the TCP daemon runs.
+//!
+//! Time is an explicit `u64` the embedder advances: the daemon feeds
+//! milliseconds since start, the mock feeds simulated ticks.
+
+use std::collections::BTreeMap;
+use tangle_gossip::{
+    ContentId, Peer, ProtocolMsg, ReceiveOutcome, RepairConfig, Transport, TxMessage,
+};
+
+/// Per-node gossip + repair protocol state machine.
+pub struct NodeProtocol {
+    id: usize,
+    peer: Peer,
+    neighbours: Vec<usize>,
+    repair_cfg: RepairConfig,
+    /// Missing content id → (re-requests issued, next re-request time).
+    attempts: BTreeMap<ContentId, (u32, u64)>,
+    /// Earliest pending repair wake-up, if any.
+    next_tick: Option<u64>,
+    now: u64,
+    telemetry: lt_telemetry::Telemetry,
+}
+
+impl NodeProtocol {
+    /// A protocol engine for peer `id` starting from the shared genesis.
+    pub fn new(id: usize, genesis: &TxMessage, pow_difficulty: u32, orphan_cap: usize) -> Self {
+        Self {
+            id,
+            peer: Peer::new(id, genesis, pow_difficulty).with_orphan_cap(orphan_cap),
+            neighbours: Vec::new(),
+            repair_cfg: RepairConfig::default(),
+            attempts: BTreeMap::new(),
+            next_tick: None,
+            now: 0,
+            telemetry: lt_telemetry::Telemetry::disabled(),
+        }
+    }
+
+    /// Override the repair parameters.
+    pub fn set_repair(&mut self, cfg: RepairConfig) {
+        self.repair_cfg = cfg;
+    }
+
+    /// Attach an observability handle: deliveries are then mirrored into
+    /// `net.delivered` / `net.duplicates` / `net.orphaned` /
+    /// `net.rejected` / `net.rerequests`, matching the simulator's
+    /// `gossip.*` counter points.
+    pub fn set_telemetry(&mut self, telemetry: lt_telemetry::Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Replace the live neighbour set (connected peer ids).
+    pub fn set_neighbours(&mut self, neighbours: Vec<usize>) {
+        self.neighbours = neighbours;
+    }
+
+    /// Current live neighbours.
+    pub fn neighbours(&self) -> &[usize] {
+        &self.neighbours
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The underlying replica holder.
+    pub fn peer(&self) -> &Peer {
+        &self.peer
+    }
+
+    /// Advance the protocol clock (monotonic; going backwards is a no-op).
+    pub fn set_now(&mut self, now: u64) {
+        self.now = self.now.max(now);
+    }
+
+    /// Current protocol clock.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// When [`NodeProtocol::tick`] next wants to run, if ever.
+    pub fn next_wake(&self) -> Option<u64> {
+        self.next_tick
+    }
+
+    /// Publish a locally created transaction: insert it into the replica
+    /// and flood it to every neighbour. Returns the receive outcome (a
+    /// self-publish is normally [`ReceiveOutcome::Accepted`]).
+    pub fn publish(&mut self, msg: TxMessage, t: &mut impl Transport) -> ReceiveOutcome {
+        let outcome = self.peer.receive(&msg);
+        if outcome == ReceiveOutcome::Accepted || outcome == ReceiveOutcome::OrphanBuffered {
+            self.forward(usize::MAX, msg, t);
+        }
+        outcome
+    }
+
+    /// Advertise this node's heads to every neighbour (the push half of
+    /// anti-entropy; the replies carry whatever the neighbours hold that
+    /// we provably lack, and our unknown-head registrations pull the
+    /// rest).
+    pub fn advertise_heads(&mut self, t: &mut impl Transport) {
+        let heads = self.peer.heads();
+        for &nb in &self.neighbours {
+            t.send(
+                self.id,
+                nb,
+                ProtocolMsg::Advertise {
+                    heads: heads.clone(),
+                },
+            );
+        }
+    }
+
+    /// Handle one protocol message arriving from neighbour `from`.
+    /// Returns the receive outcome for transaction-carrying messages.
+    pub fn on_message(
+        &mut self,
+        from: usize,
+        msg: ProtocolMsg,
+        t: &mut impl Transport,
+    ) -> Option<ReceiveOutcome> {
+        match msg {
+            // Same handling for both, as in the simulator: only the
+            // wire-level intent differs.
+            ProtocolMsg::Publish(m) | ProtocolMsg::Delta(m) => {
+                self.telemetry.count("net.delivered", 1);
+                let outcome = self.peer.receive(&m);
+                match outcome {
+                    ReceiveOutcome::Accepted => self.forward(from, m, t),
+                    ReceiveOutcome::OrphanBuffered => {
+                        self.telemetry.count("net.orphaned", 1);
+                        self.forward(from, m, t);
+                        if self.repair_cfg.enabled {
+                            self.schedule_tick(self.now + self.repair_cfg.delay);
+                        }
+                    }
+                    ReceiveOutcome::Duplicate => self.telemetry.count("net.duplicates", 1),
+                    ReceiveOutcome::InvalidPow | ReceiveOutcome::Corrupt => {
+                        self.telemetry.count("net.rejected_rx", 1)
+                    }
+                }
+                Some(outcome)
+            }
+            ProtocolMsg::Advertise { heads } => {
+                let unknown: Vec<ContentId> = heads
+                    .iter()
+                    .copied()
+                    .filter(|h| !self.peer.has_seen(*h))
+                    .collect();
+                for m in self.peer.delta_for(&heads) {
+                    t.send(self.id, from, ProtocolMsg::Delta(m));
+                }
+                if !unknown.is_empty() && self.repair_cfg.enabled {
+                    let first_due = self.now + self.repair_cfg.delay;
+                    for cid in unknown {
+                        let entry = self.attempts.entry(cid).or_insert((0, first_due));
+                        if entry.0 >= self.repair_cfg.max_retries {
+                            // fresh evidence the tx exists: retry anew
+                            *entry = (0, first_due);
+                        }
+                    }
+                    self.schedule_tick(first_due);
+                }
+                None
+            }
+            ProtocolMsg::Request { wants } => {
+                let msgs: Vec<TxMessage> = wants
+                    .iter()
+                    .filter_map(|w| self.peer.message_for(*w).cloned())
+                    .collect();
+                for m in msgs {
+                    t.send(self.id, from, ProtocolMsg::Delta(m));
+                }
+                None
+            }
+        }
+    }
+
+    /// One round of the pull protocol: re-request every due missing
+    /// transaction from a rotating neighbour, back off exponentially per
+    /// transaction, and remember the earliest future retry in
+    /// [`NodeProtocol::next_wake`].
+    pub fn tick(&mut self, now: u64, t: &mut impl Transport) {
+        self.set_now(now);
+        if self.next_tick.is_some_and(|due| due <= self.now) {
+            self.next_tick = None;
+        }
+        if !self.repair_cfg.enabled {
+            return;
+        }
+        let now = self.now;
+        let cfg = self.repair_cfg;
+        let missing: Vec<ContentId> = self.peer.missing().iter().copied().collect();
+        self.attempts
+            .retain(|cid, _| missing.binary_search(cid).is_ok());
+        for cid in &missing {
+            self.attempts.entry(*cid).or_insert((0, now));
+        }
+        if self.neighbours.is_empty() {
+            return;
+        }
+        let nbrs = &self.neighbours;
+        let mut sends: BTreeMap<usize, Vec<ContentId>> = BTreeMap::new();
+        let mut next_due: Option<u64> = None;
+        for (cid, (attempt, next_at)) in self.attempts.iter_mut() {
+            if *attempt >= cfg.max_retries {
+                continue;
+            }
+            if *next_at > now {
+                next_due = Some(next_due.map_or(*next_at, |d| d.min(*next_at)));
+                continue;
+            }
+            let nb = nbrs[(*attempt as usize + cid.0 as usize) % nbrs.len()];
+            sends.entry(nb).or_default().push(*cid);
+            *attempt += 1;
+            *next_at = now + (cfg.backoff_base << (*attempt).min(16));
+            if *attempt < cfg.max_retries {
+                next_due = Some(next_due.map_or(*next_at, |d| d.min(*next_at)));
+            }
+        }
+        let total: u64 = sends.values().map(|v| v.len() as u64).sum();
+        if total > 0 {
+            self.telemetry.count("net.rerequests", total);
+        }
+        for (nb, wants) in sends {
+            t.send(self.id, nb, ProtocolMsg::Request { wants });
+        }
+        if let Some(due) = next_due {
+            self.schedule_tick(due);
+        }
+    }
+
+    /// Re-request attempts issued so far for `cid` (test observability).
+    pub fn attempts_for(&self, cid: ContentId) -> u32 {
+        self.attempts.get(&cid).map_or(0, |(a, _)| *a)
+    }
+
+    fn schedule_tick(&mut self, at: u64) {
+        if self.next_tick.is_none_or(|due| at < due) {
+            self.next_tick = Some(at);
+        }
+    }
+
+    /// Flood a first-seen transaction to every neighbour except the one
+    /// it arrived from.
+    fn forward(&mut self, came_from: usize, msg: TxMessage, t: &mut impl Transport) {
+        for &nb in &self.neighbours {
+            if nb == came_from {
+                continue;
+            }
+            t.send(self.id, nb, ProtocolMsg::Publish(msg.clone()));
+        }
+    }
+}

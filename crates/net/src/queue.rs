@@ -1,0 +1,128 @@
+//! Bounded per-connection send queues.
+//!
+//! Each established connection gets one [`SendQueue`] feeding a dedicated
+//! writer thread. The queue is *bounded and non-blocking on the producer
+//! side*: the protocol thread must never stall because one slow peer
+//! stopped draining its socket. An overflowing push fails — and the
+//! caller is required to account for it (the daemon counts it under
+//! `net.dropped`), because a frame silently swallowed here would be
+//! indistinguishable from network loss with no counter to show for it.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Inner {
+    q: Mutex<State>,
+    cv: Condvar,
+    cap: usize,
+}
+
+struct State {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+/// A bounded MPSC byte-frame queue: any thread may push, one writer
+/// thread pops (blocking). Cloning shares the queue.
+#[derive(Clone)]
+pub struct SendQueue {
+    inner: Arc<Inner>,
+}
+
+impl SendQueue {
+    /// A queue holding at most `cap` frames.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "a send queue must hold at least one frame");
+        Self {
+            inner: Arc::new(Inner {
+                q: Mutex::new(State {
+                    frames: VecDeque::new(),
+                    closed: false,
+                }),
+                cv: Condvar::new(),
+                cap,
+            }),
+        }
+    }
+
+    /// Enqueue a frame. Returns `false` — without blocking — when the
+    /// queue is full or closed; the caller owns the accounting.
+    pub fn push(&self, frame: Vec<u8>) -> bool {
+        let mut st = self.inner.q.lock().expect("queue poisoned");
+        if st.closed || st.frames.len() >= self.inner.cap {
+            return false;
+        }
+        st.frames.push_back(frame);
+        drop(st);
+        self.inner.cv.notify_one();
+        true
+    }
+
+    /// Dequeue the next frame, blocking until one arrives. `None` once
+    /// the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<Vec<u8>> {
+        let mut st = self.inner.q.lock().expect("queue poisoned");
+        loop {
+            if let Some(f) = st.frames.pop_front() {
+                return Some(f);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.inner.cv.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// Close the queue: future pushes fail, the writer drains what is
+    /// left and then sees `None`.
+    pub fn close(&self) {
+        self.inner.q.lock().expect("queue poisoned").closed = true;
+        self.inner.cv.notify_all();
+    }
+
+    /// Frames currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.q.lock().expect("queue poisoned").frames.len()
+    }
+
+    /// Is the queue empty right now?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_fails_without_blocking() {
+        let q = SendQueue::new(2);
+        assert!(q.push(vec![1]));
+        assert!(q.push(vec![2]));
+        assert!(!q.push(vec![3]), "third push must overflow");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = SendQueue::new(4);
+        q.push(vec![1]);
+        q.push(vec![2]);
+        q.close();
+        assert!(!q.push(vec![3]), "push after close must fail");
+        assert_eq!(q.pop(), Some(vec![1]));
+        assert_eq!(q.pop(), Some(vec![2]));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_wakes_on_push() {
+        let q = SendQueue::new(4);
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(vec![7]);
+        assert_eq!(h.join().expect("no panic"), Some(vec![7]));
+    }
+}

@@ -1,0 +1,284 @@
+//! Protocol state-machine tests over the deterministic mock transport:
+//! flood convergence, orphan repair with retries and exponential backoff,
+//! rotating neighbour selection, duplicate delivery, and fault-plan
+//! determinism — all without a single socket.
+
+use lt_net::{MockTransport, NodeProtocol};
+use tangle_gossip::{ContentId, FaultPlan, ProtocolMsg, ReceiveOutcome, RepairConfig, TxMessage};
+use tinynn::ParamVec;
+
+const POW: u32 = 0;
+const ORPHAN_CAP: usize = 16;
+
+fn genesis() -> TxMessage {
+    TxMessage::create(&ParamVec(vec![0.5, -0.5, 0.25]), vec![], u64::MAX, 0, POW)
+}
+
+fn mesh(n: usize) -> Vec<NodeProtocol> {
+    let g = genesis();
+    (0..n)
+        .map(|i| {
+            let mut p = NodeProtocol::new(i, &g, POW, ORPHAN_CAP);
+            p.set_neighbours((0..n).filter(|&j| j != i).collect());
+            p
+        })
+        .collect()
+}
+
+/// A transaction extending `parents`, payload varied by `k`.
+fn tx(parents: Vec<ContentId>, issuer: u64, slot: u64, k: f32) -> TxMessage {
+    TxMessage::create(
+        &ParamVec(vec![k, k + 1.0, k - 1.0]),
+        parents,
+        issuer,
+        slot,
+        POW,
+    )
+}
+
+/// Run the discrete-event loop to quiescence: interleave due repair
+/// ticks with deliveries in timestamp order until neither exists.
+fn drain(nodes: &mut [NodeProtocol], t: &mut MockTransport) {
+    for _ in 0..100_000 {
+        let next_tick = nodes.iter().filter_map(|n| n.next_wake()).min();
+        let next_del = t.next_at();
+        let at = match (next_del, next_tick) {
+            (None, None) => return,
+            (Some(d), None) => d,
+            (None, Some(w)) => w,
+            (Some(d), Some(w)) => d.min(w),
+        };
+        if next_tick.is_some_and(|w| w <= at) {
+            t.advance_to(at);
+            for n in nodes.iter_mut() {
+                if n.next_wake().is_some_and(|w| w <= at) {
+                    n.tick(at, t);
+                }
+            }
+        } else {
+            let d = t.pop_next().expect("delivery scheduled");
+            let node = &mut nodes[d.to];
+            node.set_now(d.at);
+            node.on_message(d.from, d.msg, t);
+        }
+    }
+    panic!("event loop did not quiesce");
+}
+
+fn archive_ids(n: &NodeProtocol) -> Vec<u64> {
+    n.peer()
+        .export_messages()
+        .iter()
+        .map(|m| m.content_id().0)
+        .collect()
+}
+
+#[test]
+fn flood_converges_full_mesh() {
+    let mut nodes = mesh(4);
+    let mut t = MockTransport::new(11, (1, 4));
+    let g = nodes[0].peer().heads();
+    let a = tx(g.clone(), 0, 1, 1.0);
+    let b = tx(vec![a.content_id()], 1, 2, 2.0);
+    assert_eq!(nodes[0].publish(a, &mut t), ReceiveOutcome::Accepted);
+    drain(&mut nodes, &mut t);
+    assert_eq!(nodes[1].publish(b, &mut t), ReceiveOutcome::Accepted);
+    drain(&mut nodes, &mut t);
+    let want = archive_ids(&nodes[0]);
+    assert_eq!(want.len(), 2);
+    for n in &nodes {
+        assert_eq!(archive_ids(n), want, "replica {} diverged", n.id());
+        assert_eq!(n.peer().orphan_count(), 0);
+        assert!(n.peer().missing().is_empty());
+    }
+}
+
+#[test]
+fn duplicate_delivery_is_idempotent() {
+    let mut nodes = mesh(2);
+    let mut t = MockTransport::new(3, (1, 1));
+    let a = tx(nodes[0].peer().heads(), 0, 1, 3.0);
+    assert_eq!(
+        nodes[1].on_message(0, ProtocolMsg::Publish(a.clone()), &mut t),
+        Some(ReceiveOutcome::Accepted)
+    );
+    assert_eq!(
+        nodes[1].on_message(0, ProtocolMsg::Publish(a), &mut t),
+        Some(ReceiveOutcome::Duplicate)
+    );
+    assert_eq!(nodes[1].peer().len(), 2); // genesis + a
+}
+
+/// An orphaned child triggers the pull protocol: request the parent from
+/// a neighbour that has it, receive the delta, and de-orphan.
+#[test]
+fn orphan_repair_recovers_missing_parent() {
+    let mut nodes = mesh(2);
+    let mut t = MockTransport::new(7, (1, 2));
+    let parent = tx(nodes[0].peer().heads(), 0, 1, 4.0);
+    let child = tx(vec![parent.content_id()], 0, 2, 5.0);
+    // node 0 has both; node 1 sees only the child (parent "lost").
+    assert_eq!(
+        nodes[0].publish(parent.clone(), &mut MockTransport::new(0, (1, 1))),
+        ReceiveOutcome::Accepted
+    );
+    assert_eq!(
+        nodes[0].publish(child.clone(), &mut MockTransport::new(0, (1, 1))),
+        ReceiveOutcome::Accepted
+    );
+    assert_eq!(
+        nodes[1].on_message(0, ProtocolMsg::Publish(child), &mut t),
+        Some(ReceiveOutcome::OrphanBuffered)
+    );
+    assert_eq!(nodes[1].peer().orphan_count(), 1);
+    assert!(nodes[1].next_wake().is_some(), "repair tick scheduled");
+    drain(&mut nodes, &mut t);
+    assert_eq!(nodes[1].peer().orphan_count(), 0);
+    assert!(nodes[1].peer().missing().is_empty());
+    assert_eq!(archive_ids(&nodes[1]), archive_ids(&nodes[0]));
+}
+
+/// When no neighbour can supply the missing parent, re-requests back off
+/// exponentially (`backoff_base << attempt`) and stop at `max_retries`.
+#[test]
+fn rerequests_back_off_and_cap() {
+    let cfg = RepairConfig {
+        enabled: true,
+        delay: 8,
+        backoff_base: 8,
+        max_retries: 4,
+    };
+    let mut nodes = mesh(2);
+    nodes[1].set_repair(cfg);
+    let mut t = MockTransport::new(9, (1, 1));
+    let parent = tx(nodes[0].peer().heads(), 0, 1, 6.0);
+    let child = tx(vec![parent.content_id()], 0, 2, 7.0);
+    let missing = parent.content_id();
+    // node 0 never gets the parent either: requests go unanswered.
+    nodes[1].on_message(0, ProtocolMsg::Publish(child), &mut t);
+    assert_eq!(nodes[1].next_wake(), Some(cfg.delay));
+
+    let mut requests = Vec::new();
+    for _ in 0..cfg.max_retries {
+        let due = nodes[1].next_wake().expect("retry pending");
+        nodes[1].tick(due, &mut t);
+        requests.push(due);
+        // swallow the Request delivery (node 0 can't help anyway)
+        while let Some(d) = t.pop_next() {
+            assert!(matches!(d.msg, ProtocolMsg::Request { .. }));
+            assert_eq!(d.to, 0);
+        }
+    }
+    assert_eq!(nodes[1].attempts_for(missing), cfg.max_retries);
+    assert_eq!(nodes[1].next_wake(), None, "gave up after max_retries");
+    // exponential spacing: gap k→k+1 is backoff_base << (k+1)
+    for (k, w) in requests.windows(2).enumerate() {
+        assert_eq!(w[1] - w[0], cfg.backoff_base << (k + 1));
+    }
+
+    // Fresh evidence (an Advertise naming the missing cid) resets the
+    // attempt counter and re-arms the pull.
+    let now = nodes[1].now();
+    nodes[1].on_message(
+        0,
+        ProtocolMsg::Advertise {
+            heads: vec![missing],
+        },
+        &mut t,
+    );
+    assert_eq!(nodes[1].attempts_for(missing), 0);
+    assert_eq!(nodes[1].next_wake(), Some(now + cfg.delay));
+    // Give node 0 the parent; the re-armed pull now completes.
+    nodes[0].publish(parent, &mut MockTransport::new(0, (1, 1)));
+    drain(&mut nodes, &mut t);
+    assert_eq!(nodes[1].peer().orphan_count(), 0);
+    assert!(nodes[1].peer().missing().is_empty());
+}
+
+/// Re-request targets rotate deterministically over the neighbour list:
+/// attempt `k` for cid `c` goes to `nbrs[(k + c) % len]`.
+#[test]
+fn rerequest_neighbour_rotation() {
+    let mut nodes = mesh(4);
+    let mut t = MockTransport::new(5, (1, 1));
+    let parent = tx(nodes[0].peer().heads(), 0, 1, 8.0);
+    let child = tx(vec![parent.content_id()], 0, 2, 9.0);
+    let cid = parent.content_id();
+    // node 3's neighbours are [0, 1, 2]
+    nodes[3].on_message(0, ProtocolMsg::Publish(child), &mut t);
+    // swallow node 3's forwards of the orphan
+    while t.pop_next().is_some() {}
+    let nbrs = nodes[3].neighbours().to_vec();
+    for attempt in 0..3u32 {
+        let due = nodes[3].next_wake().expect("retry pending");
+        nodes[3].tick(due, &mut t);
+        let expect = nbrs[(attempt as usize + cid.0 as usize) % nbrs.len()];
+        let mut targets = Vec::new();
+        while let Some(d) = t.pop_next() {
+            assert!(matches!(d.msg, ProtocolMsg::Request { .. }));
+            targets.push(d.to);
+        }
+        assert_eq!(targets, vec![expect], "attempt {attempt} target");
+    }
+}
+
+/// Corrupted transaction payloads are rejected at the replica, not
+/// accepted or panicked on.
+#[test]
+fn corrupt_in_flight_payload_is_rejected() {
+    let mut nodes = mesh(2);
+    let mut t = MockTransport::new(13, (1, 1));
+    t.install_faults(FaultPlan {
+        seed: 13,
+        corrupt: 1.0,
+        ..FaultPlan::default()
+    });
+    let a = tx(nodes[0].peer().heads(), 0, 1, 10.0);
+    nodes[0].publish(a, &mut t);
+    let d = t.pop_next().expect("delivery");
+    let outcome = nodes[1].on_message(d.from, d.msg, &mut t).expect("tx msg");
+    assert_eq!(outcome, ReceiveOutcome::Corrupt);
+    assert_eq!(nodes[1].peer().len(), 1, "corrupt tx not inserted");
+}
+
+/// The same seed replays the same run — byte-identical archives and
+/// identical transport accounting — under drop + duplicate + reorder
+/// faults, with repair recovering every loss.
+#[test]
+fn faulty_run_is_deterministic_and_recovers() {
+    fn run(seed: u64) -> (Vec<Vec<u64>>, u64, u64) {
+        let mut nodes = mesh(3);
+        let mut t = MockTransport::new(seed, (1, 6));
+        t.install_faults(FaultPlan {
+            seed: seed ^ 0xF417,
+            drop: 0.25,
+            duplicate: 0.2,
+            reorder_jitter: 9,
+            ..FaultPlan::default()
+        });
+        let mut heads = nodes[0].peer().heads();
+        for slot in 1..=6u64 {
+            let issuer = (slot % 3) as usize;
+            let m = tx(heads.clone(), issuer as u64, slot, slot as f32);
+            heads = vec![m.content_id()];
+            nodes[issuer].publish(m, &mut t);
+            drain(&mut nodes, &mut t);
+            // anti-entropy: advertised heads re-arm any pull that gave up
+            for node in nodes.iter_mut() {
+                node.advertise_heads(&mut t);
+            }
+            drain(&mut nodes, &mut t);
+        }
+        let archives: Vec<Vec<u64>> = nodes.iter().map(archive_ids).collect();
+        (archives, t.sent, t.dropped)
+    }
+    let (a1, sent1, dropped1) = run(42);
+    let (a2, sent2, dropped2) = run(42);
+    assert_eq!(a1, a2, "same seed, same archives");
+    assert_eq!((sent1, dropped1), (sent2, dropped2), "same accounting");
+    assert!(dropped1 > 0, "fault plan actually dropped something");
+    // every replica holds all 6 transactions despite the losses
+    for archive in &a1 {
+        assert_eq!(archive.len(), 6);
+    }
+}

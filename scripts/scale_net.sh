@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Launch N local lt-node daemons and drive them: first a scripted
+# lockstep schedule checked byte-for-byte against the in-process gossip
+# executor, then sustained publish traffic with throughput / frame /
+# RTT reporting. Results land in $OUT/net.json.
+#
+# usage: scripts/scale_net.sh [nodes] [activations-per-node] [seed]
+#   NODES / ROUNDS / SEED / OUT / PROFILE env vars override positionals.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NODES="${NODES:-${1:-5}}"
+ROUNDS="${ROUNDS:-${2:-20}}"
+SEED="${SEED:-${3:-42}}"
+OUT="${OUT:-results}"
+PROFILE="${PROFILE:-release}"
+
+if [ "$PROFILE" = release ]; then FLAG=--release; else FLAG=; fi
+
+echo "== building lt-node + lt-experiments ($PROFILE) =="
+cargo build $FLAG -p lt-net --bin lt-node -p lt-experiments --bin lt-experiments
+
+BIN_DIR="target/$PROFILE"
+export LT_NODE_BIN="$BIN_DIR/lt-node"
+
+echo "== scale run: $NODES daemons, $ROUNDS activations/daemon, seed $SEED =="
+"$BIN_DIR/lt-experiments" net "--nodes=$NODES" "--rounds=$ROUNDS" "--seed=$SEED" "--out=$OUT"
