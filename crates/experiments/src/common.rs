@@ -52,6 +52,13 @@ pub struct Opts {
     pub mutate: Option<String>,
     /// Daemon count for the `net` experiment (`--nodes=N`).
     pub nodes: Option<usize>,
+    /// Run the `net` experiment as a chaos soak of this many seconds
+    /// (`--soak-secs=N`) instead of lockstep + throughput.
+    pub soak_secs: Option<u64>,
+    /// Seed of the soak's rolling chaos schedule (`--chaos-seed=N`),
+    /// independent of the master seed so the fault pattern can vary
+    /// while dataset/model/genesis stay fixed.
+    pub chaos_seed: u64,
 }
 
 impl Opts {
@@ -71,6 +78,8 @@ impl Opts {
             replay: None,
             mutate: None,
             nodes: None,
+            soak_secs: None,
+            chaos_seed: 7,
         };
         let mut i = 0;
         while i < args.len() {
@@ -101,6 +110,10 @@ impl Opts {
                 opts.mutate = Some(v.to_string());
             } else if let Some(v) = a.strip_prefix("--nodes=") {
                 opts.nodes = Some(v.parse().map_err(|e| format!("bad --nodes: {e}"))?);
+            } else if let Some(v) = a.strip_prefix("--soak-secs=") {
+                opts.soak_secs = Some(v.parse().map_err(|e| format!("bad --soak-secs: {e}"))?);
+            } else if let Some(v) = a.strip_prefix("--chaos-seed=") {
+                opts.chaos_seed = v.parse().map_err(|e| format!("bad --chaos-seed: {e}"))?;
             } else if let Some(v) = a.strip_prefix("--telemetry=") {
                 opts.telemetry = Some(PathBuf::from(v));
             } else if a == "--telemetry" {

@@ -20,7 +20,11 @@
 //!   gossipnet distributed gossip implementation vs message loss (extension)
 //!   net      multi-process networking: N lt-node daemons over localhost
 //!            TCP; lockstep byte-agreement with the in-process executor,
-//!            then sustained-publish throughput/latency (--nodes=N)
+//!            then sustained-publish throughput/latency (--nodes=N).
+//!            With --soak-secs=N: a long-haul chaos soak instead —
+//!            rolling partitions/latency/corruption/resets plus SIGKILL
+//!            + checkpoint-restore cycles, asserting reconvergence and
+//!            invariant-clean archives (--chaos-seed=N)
 //!   churn    fault injection: accuracy/consistency vs crash-restart churn
 //!   linkability update-linkability attack vs DP noise (extension, §III-D)
 //!   ablate   design-choice ablations (defense, alpha, confidence, bias)
@@ -53,7 +57,7 @@ use common::Opts;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: lt-experiments <table1|fig2|fig3|fig3a|fig3b|fig3c|fig4|table2|fig5|fig6|backdoor|gossipnet|net|churn|linkability|ablate|conformance|all> [--nodes=N] [--paper] [--seed=N] [--rounds=N] [--out=DIR] [--telemetry <path.jsonl>] [--telemetry-timings] [--churn=N] [--fault-seed=N] [--checkpoint-every=N] [--schedules=N] [--replay=PATH] [--mutate=stale-cache]");
+        eprintln!("usage: lt-experiments <table1|fig2|fig3|fig3a|fig3b|fig3c|fig4|table2|fig5|fig6|backdoor|gossipnet|net|churn|linkability|ablate|conformance|all> [--nodes=N] [--soak-secs=N] [--chaos-seed=N] [--paper] [--seed=N] [--rounds=N] [--out=DIR] [--telemetry <path.jsonl>] [--telemetry-timings] [--churn=N] [--fault-seed=N] [--checkpoint-every=N] [--schedules=N] [--replay=PATH] [--mutate=stale-cache]");
         std::process::exit(2);
     };
     let opts = match Opts::parse(&args[1..]) {

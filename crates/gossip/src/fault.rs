@@ -16,8 +16,10 @@
 //! losses and restarts — bounded re-requests with exponential backoff,
 //! plus head advertisement rounds.
 
+use serde::{Deserialize, Serialize};
+
 /// How a crashed peer comes back.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Recovery {
     /// Rejoin with a fresh replica holding only the genesis.
     Empty,
@@ -28,7 +30,7 @@ pub enum Recovery {
 }
 
 /// One scheduled crash (and optional restart) of a peer.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrashEvent {
     /// Peer to crash.
     pub peer: usize,
@@ -41,8 +43,11 @@ pub struct CrashEvent {
 }
 
 /// A deterministic schedule of faults, installed with
-/// [`crate::network::Network::install_faults`].
-#[derive(Clone, Debug)]
+/// [`crate::network::Network::install_faults`]. Serializable so a fault
+/// schedule can be archived next to the run it perturbed and replayed
+/// byte-for-byte (the `lt-net` `ChaosPlan` reuses these types for its
+/// kill schedule).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Seed for the fault RNG. Separate from the network seed so
     /// enabling fault injection never perturbs the base latency/loss

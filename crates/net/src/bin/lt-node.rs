@@ -3,17 +3,22 @@
 //! ```text
 //! lt-node --id 0 --nodes 3 --seed 7 [--listen 127.0.0.1:0]
 //!         [--queue-cap 1024] [--ping-ms 0]
+//!         [--checkpoint <path>] [--checkpoint-every-ms 250] [--restore]
 //! ```
 //!
 //! Prints `LISTEN <addr>` on stdout once the socket is bound, then serves
 //! the wire protocol until a control connection sends `Shutdown`.
+//! `--checkpoint` enables periodic crash-recovery checkpoints;
+//! `--restore` rebuilds the replica from that file at startup (falling
+//! back to genesis when the file is missing or corrupt).
 
 use lt_net::{run_daemon, DaemonConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: lt-node --id <i> --nodes <n> --seed <s> \
-         [--listen <addr>] [--queue-cap <n>] [--ping-ms <ms>]"
+         [--listen <addr>] [--queue-cap <n>] [--ping-ms <ms>] \
+         [--checkpoint <path>] [--checkpoint-every-ms <ms>] [--restore]"
     );
     std::process::exit(2);
 }
@@ -25,6 +30,9 @@ fn main() {
     let mut listen: Option<String> = None;
     let mut queue_cap: Option<usize> = None;
     let mut ping_ms: Option<u64> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut checkpoint_every_ms: Option<u64> = None;
+    let mut restore = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -41,6 +49,9 @@ fn main() {
             "--listen" => listen = Some(take("address")),
             "--queue-cap" => queue_cap = Some(parse(&flag, &take("capacity"))),
             "--ping-ms" => ping_ms = Some(parse(&flag, &take("interval"))),
+            "--checkpoint" => checkpoint = Some(take("path")),
+            "--checkpoint-every-ms" => checkpoint_every_ms = Some(parse(&flag, &take("interval"))),
+            "--restore" => restore = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("lt-node: unknown flag {other}");
@@ -57,6 +68,10 @@ fn main() {
         eprintln!("lt-node: --id must be < --nodes");
         std::process::exit(2);
     }
+    if restore && checkpoint.is_none() {
+        eprintln!("lt-node: --restore needs --checkpoint");
+        std::process::exit(2);
+    }
 
     let mut cfg = DaemonConfig::new(id, nodes, seed);
     if let Some(l) = listen {
@@ -68,6 +83,13 @@ fn main() {
     if let Some(p) = ping_ms {
         cfg.ping_interval_ms = p;
     }
+    if let Some(path) = checkpoint {
+        cfg.checkpoint = Some(path.into());
+    }
+    if let Some(ms) = checkpoint_every_ms {
+        cfg.checkpoint_every_ms = ms;
+    }
+    cfg.restore = restore;
 
     if let Err(e) = run_daemon(cfg) {
         eprintln!("lt-node: {e}");

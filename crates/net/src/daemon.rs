@@ -18,25 +18,40 @@
 //!
 //! Frames that cannot be handed to a writer are never silently lost:
 //! a send to a peer with no live connection counts as `net.rejected`,
-//! and a send that overflows a bounded queue counts as `net.dropped`.
+//! a send that overflows a bounded queue counts as `net.dropped`, and a
+//! frame queued behind a socket that died mid-stream counts as
+//! `net.conn_lost` — every queued frame ends up in exactly one of
+//! `net.frames_sent` / `net.conn_lost`.
+//!
+//! Crash safety: with `--checkpoint <path>` the protocol thread
+//! periodically persists an `LTND` envelope (last activated slot +
+//! [`Peer::checkpoint_bytes`] + whole-file checksum) via atomic
+//! tmp-and-rename writes; `--restore` rebuilds the replica from that
+//! file at startup, falling back to an empty replica (repair refills
+//! it) when the file is missing, truncated, or corrupt.
 //!
 //! On startup the daemon prints `LISTEN <addr>` on stdout — the contract
 //! the [`crate::driver`] uses to find the ephemeral port.
 
-use crate::frame::{read_frame, StatusReport, WireMsg, CONTROL_PEER};
+use crate::frame::{fnv1a, read_frame, StatusReport, WireMsg, CONTROL_PEER};
 use crate::preset::{Preset, ORPHAN_CAP};
 use crate::protocol::NodeProtocol;
 use crate::queue::SendQueue;
 use learning_tangle::node::Node;
+use learning_tangle::persist::PersistError;
 use learning_tangle::{EvalCache, ScratchPool, SimConfig, DEFAULT_EVAL_CACHE_CAPACITY};
+use rand::RngExt;
 use std::collections::HashMap;
+use std::fs;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 use tangle_gossip::learn::{consensus_eval, train_step};
-use tangle_gossip::{ProtocolMsg, Transport, TxMessage};
-use tangle_ledger::AnalysisCache;
+use tangle_gossip::{Peer, ProtocolMsg, Transport, TxMessage};
+use tangle_ledger::{AnalysisCache, TxId};
+use tinynn::rng::{derive, seeded, Rng};
 
 /// Configuration of one daemon process.
 #[derive(Clone, Debug)]
@@ -54,6 +69,14 @@ pub struct DaemonConfig {
     /// Interval between liveness pings to each connected peer, in
     /// milliseconds (0 = off; keep off for deterministic frame counts).
     pub ping_interval_ms: u64,
+    /// Where to persist crash-recovery checkpoints (None = off).
+    pub checkpoint: Option<PathBuf>,
+    /// Interval between periodic checkpoints, in milliseconds.
+    pub checkpoint_every_ms: u64,
+    /// Restore the replica from `checkpoint` at startup. A missing or
+    /// invalid file is not fatal: the daemon starts from genesis and
+    /// the repair protocol refills it.
+    pub restore: bool,
 }
 
 impl DaemonConfig {
@@ -66,8 +89,107 @@ impl DaemonConfig {
             listen: "127.0.0.1:0".to_string(),
             queue_cap: 1024,
             ping_interval_ms: 0,
+            checkpoint: None,
+            checkpoint_every_ms: 250,
+            restore: false,
         }
     }
+}
+
+/// Magic prefix of the daemon checkpoint envelope. The envelope wraps
+/// the gossip-layer `LTCP` image with daemon-level state (the last
+/// activated slot) and a whole-file checksum so a kill mid-write is
+/// detected as corruption, never read as a shorter valid history.
+pub const DAEMON_CKPT_MAGIC: &[u8; 4] = b"LTND";
+/// Envelope version.
+pub const DAEMON_CKPT_VERSION: u8 = 1;
+
+/// Serialize a daemon checkpoint:
+///
+/// ```text
+/// magic     b"LTND"  (4 bytes)
+/// version   u8       (currently 1)
+/// last_slot u64 LE   (last activated training slot)
+/// inner_len u32 LE   (LTCP image byte count)
+/// inner     bytes    (Peer::checkpoint_bytes)
+/// check     u64 LE   (FNV-1a over all preceding bytes)
+/// ```
+pub fn daemon_checkpoint_bytes(peer: &Peer, last_slot: u64) -> Vec<u8> {
+    let inner = peer.checkpoint_bytes();
+    let mut out = Vec::with_capacity(4 + 1 + 8 + 4 + inner.len() + 8);
+    out.extend_from_slice(DAEMON_CKPT_MAGIC);
+    out.push(DAEMON_CKPT_VERSION);
+    out.extend_from_slice(&last_slot.to_le_bytes());
+    out.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+    out.extend_from_slice(&inner);
+    let check = fnv1a(&out);
+    out.extend_from_slice(&check.to_le_bytes());
+    out
+}
+
+/// Parse and validate a daemon checkpoint produced by
+/// [`daemon_checkpoint_bytes`]. Any truncation, bit flip, or version
+/// skew fails closed with an error — never a panic, never a silently
+/// shorter history.
+pub fn decode_daemon_checkpoint(
+    id: usize,
+    b: &[u8],
+    pow_difficulty: u32,
+    orphan_cap: usize,
+) -> Result<(Peer, u64), PersistError> {
+    const HEADER: usize = 4 + 1 + 8 + 4;
+    if b.len() < HEADER + 8 || &b[..4] != DAEMON_CKPT_MAGIC {
+        return Err(PersistError::Malformed("bad daemon checkpoint header"));
+    }
+    if b[4] != DAEMON_CKPT_VERSION {
+        return Err(PersistError::Malformed(
+            "unsupported daemon checkpoint version",
+        ));
+    }
+    let last_slot = u64::from_le_bytes(b[5..13].try_into().expect("8 bytes"));
+    let inner_len = u32::from_le_bytes(b[13..17].try_into().expect("4 bytes")) as usize;
+    let Some(body_end) = HEADER.checked_add(inner_len) else {
+        return Err(PersistError::Malformed("implausible checkpoint length"));
+    };
+    if b.len() != body_end + 8 {
+        return Err(PersistError::Malformed("daemon checkpoint length mismatch"));
+    }
+    let check = u64::from_le_bytes(b[body_end..].try_into().expect("8 bytes"));
+    if fnv1a(&b[..body_end]) != check {
+        return Err(PersistError::Malformed(
+            "daemon checkpoint checksum mismatch",
+        ));
+    }
+    let peer = Peer::from_checkpoint(id, &b[HEADER..body_end], pow_difficulty, orphan_cap)?;
+    Ok((peer, last_slot))
+}
+
+/// Crash-safe checkpoint write: the bytes land in `<path>.tmp` first and
+/// are renamed into place, so a SIGKILL mid-write leaves either the old
+/// complete checkpoint or a stray tmp file — never a torn `<path>`.
+pub fn write_checkpoint_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("ltnd.tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+/// Load and validate a checkpoint file for daemon `id`, additionally
+/// checking the restored genesis against the preset's — a checkpoint
+/// from a different experiment must not be served as this ledger.
+pub fn load_checkpoint(
+    path: &Path,
+    id: usize,
+    genesis: &TxMessage,
+) -> Result<(Peer, u64), PersistError> {
+    let bytes =
+        fs::read(path).map_err(|_| PersistError::Malformed("unreadable checkpoint file"))?;
+    let (peer, slot) = decode_daemon_checkpoint(id, &bytes, 0, ORPHAN_CAP)?;
+    if peer.content_id_of(TxId(0)) != genesis.content_id() {
+        return Err(PersistError::Malformed(
+            "checkpoint from a different genesis",
+        ));
+    }
+    Ok((peer, slot))
 }
 
 /// Routes outbound frames to per-connection send queues. The daemon's
@@ -166,6 +288,7 @@ struct WireCounters {
     bytes_sent: &'static str,
     frames_recv: &'static str,
     bytes_recv: &'static str,
+    conn_lost: &'static str,
 }
 
 const DATA_COUNTERS: WireCounters = WireCounters {
@@ -173,6 +296,7 @@ const DATA_COUNTERS: WireCounters = WireCounters {
     bytes_sent: "net.bytes_sent",
     frames_recv: "net.frames_recv",
     bytes_recv: "net.bytes_recv",
+    conn_lost: "net.conn_lost",
 };
 
 const CTL_COUNTERS: WireCounters = WireCounters {
@@ -180,9 +304,17 @@ const CTL_COUNTERS: WireCounters = WireCounters {
     bytes_sent: "net.ctl_bytes_sent",
     frames_recv: "net.ctl_frames_recv",
     bytes_recv: "net.ctl_bytes_recv",
+    conn_lost: "net.ctl_conn_lost",
 };
 
-/// Spawn the writer thread draining `queue` into `stream`.
+/// Spawn the writer thread draining `queue` into `stream`. Once a write
+/// fails the socket is dead, but the queue keeps accepting pushes until
+/// the reader side notices and closes it — those frames were accepted
+/// for delivery and then lost to the partition, so the writer keeps
+/// draining and counts each one under `conn_lost` (distinct from
+/// `net.dropped`, which is queue overflow on a *live* connection).
+/// Every frame popped here is counted exactly once: `frames_sent` on a
+/// successful write, `conn_lost` after the socket died.
 fn spawn_writer(
     stream: TcpStream,
     queue: SendQueue,
@@ -191,14 +323,30 @@ fn spawn_writer(
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
         let mut w = BufWriter::new(stream);
+        let mut dead = false;
         while let Some(frame) = queue.pop() {
-            if w.write_all(&frame).and_then(|_| w.flush()).is_err() {
-                break;
+            if !dead {
+                if w.write_all(&frame).and_then(|_| w.flush()).is_ok() {
+                    telemetry.count(counters.frames_sent, 1);
+                    telemetry.count(counters.bytes_sent, frame.len() as u64);
+                    continue;
+                }
+                dead = true;
             }
-            telemetry.count(counters.frames_sent, 1);
-            telemetry.count(counters.bytes_sent, frame.len() as u64);
+            telemetry.count(counters.conn_lost, 1);
         }
     })
+}
+
+/// The connection writer thread with data-plane counters, exposed so
+/// ground-truth telemetry tests can drive a writer against a real dead
+/// socket and check the `frames_sent + conn_lost = pushed` ledger.
+pub fn spawn_data_writer(
+    stream: TcpStream,
+    queue: SendQueue,
+    telemetry: lt_telemetry::Telemetry,
+) -> std::thread::JoinHandle<()> {
+    spawn_writer(stream, queue, telemetry, DATA_COUNTERS)
 }
 
 /// Read frames from `r` until EOF or error, counting socket-level
@@ -301,12 +449,33 @@ struct Dial {
     genesis_id: u64,
     queue_cap: usize,
     token_base: u64,
+    /// Experiment seed; each dialer derives its own jitter stream.
+    seed: u64,
+}
+
+/// Reconnect backoff floor, in milliseconds.
+pub const BACKOFF_BASE_MS: u64 = 25;
+/// Reconnect backoff ceiling, in milliseconds.
+pub const BACKOFF_CAP_MS: u64 = 1600;
+
+/// Decorrelated-jitter reconnect backoff: the next sleep is drawn
+/// uniformly from `[base, min(cap, prev * 3)]`. Expected growth stays
+/// exponential, but dialers that watched the same partition heal wake
+/// at *different* times — pure exponential backoff (the previous
+/// scheme) synchronizes every dialer in the cluster onto the same
+/// schedule and slams a healed peer with a thundering herd of
+/// simultaneous redials.
+pub fn decorrelated_backoff(prev_ms: u64, rng: &mut Rng) -> u64 {
+    let hi = prev_ms
+        .saturating_mul(3)
+        .clamp(BACKOFF_BASE_MS, BACKOFF_CAP_MS);
+    rng.random_range(BACKOFF_BASE_MS..=hi)
 }
 
 /// Keep the outgoing connection to `peer` alive: dial, handshake,
-/// register, pump inbound frames; on failure back off exponentially and
-/// redial (counted under `net.reconnects`). Gives up once the protocol
-/// thread is gone.
+/// register, pump inbound frames; on failure back off with decorrelated
+/// jitter and redial (counted under `net.reconnects`). Gives up once
+/// the protocol thread is gone.
 fn dial_loop(dial: Dial, events: Sender<Event>, telemetry: lt_telemetry::Telemetry) {
     let Dial {
         self_id,
@@ -315,8 +484,11 @@ fn dial_loop(dial: Dial, events: Sender<Event>, telemetry: lt_telemetry::Telemet
         genesis_id,
         queue_cap,
         token_base,
+        seed,
     } = dial;
-    let mut backoff_exp: u32 = 0;
+    let link = ((self_id as u64) << 32) | peer as u64;
+    let mut rng = seeded(derive(derive(seed, 0x0BAC_00FF), link));
+    let mut backoff_ms = BACKOFF_BASE_MS;
     let mut conn_seq: u64 = 0;
     loop {
         if let Ok(stream) = TcpStream::connect(&addr) {
@@ -329,7 +501,7 @@ fn dial_loop(dial: Dial, events: Sender<Event>, telemetry: lt_telemetry::Telemet
             if write_half.write_all(&hello).is_ok() {
                 telemetry.count("net.frames_sent", 1);
                 telemetry.count("net.bytes_sent", hello.len() as u64);
-                backoff_exp = 0;
+                backoff_ms = BACKOFF_BASE_MS;
                 conn_seq += 1;
                 // distinct odd token per connection incarnation
                 let token = token_base + (conn_seq << 32);
@@ -360,8 +532,8 @@ fn dial_loop(dial: Dial, events: Sender<Event>, telemetry: lt_telemetry::Telemet
         }
         // the connection failed or died: reconnect with backoff
         telemetry.count("net.reconnects", 1);
-        backoff_exp = (backoff_exp + 1).min(6);
-        std::thread::sleep(Duration::from_millis(25u64 << backoff_exp));
+        backoff_ms = decorrelated_backoff(backoff_ms, &mut rng);
+        std::thread::sleep(Duration::from_millis(backoff_ms));
         // cheap liveness probe: a detach for a token that was never
         // attached is a no-op, but a closed channel ends the dialer
         if events
@@ -399,15 +571,33 @@ pub fn run_daemon(cfg: DaemonConfig) -> std::io::Result<()> {
     let genesis_id = genesis.content_id().0;
     let telemetry = lt_telemetry::Telemetry::new(lt_telemetry::MemorySink::new());
 
+    let mut restored_slot = 0u64;
     let mut proto = NodeProtocol::new(cfg.id, &genesis, 0, ORPHAN_CAP);
+    if cfg.restore {
+        if let Some(path) = cfg.checkpoint.as_deref() {
+            match load_checkpoint(path, cfg.id, &genesis) {
+                Ok((peer, slot)) => {
+                    telemetry.count("net.restores", 1);
+                    telemetry.count("net.restored_len", peer.len() as u64);
+                    restored_slot = slot;
+                    proto = NodeProtocol::from_peer(peer);
+                }
+                Err(_) => {
+                    // fail open: start from genesis, let repair refill
+                    telemetry.count("net.restore_failed", 1);
+                }
+            }
+        }
+    }
     proto.set_telemetry(telemetry.clone());
+    proto.set_repair(Preset::repair_cfg());
     let mut learner = Learner {
         nodes: preset.population(),
         cache: AnalysisCache::new(proto.peer().replica()),
         eval: EvalCache::new(DEFAULT_EVAL_CACHE_CAPACITY),
         scratch: ScratchPool::new(Box::new(Preset::build)),
         cfg: preset.sim_cfg(),
-        last_slot: 0,
+        last_slot: restored_slot,
     };
     let mut router = Router::new(telemetry.clone());
 
@@ -444,6 +634,13 @@ pub fn run_daemon(cfg: DaemonConfig) -> std::io::Result<()> {
     let mut dial_tokens: u64 = 1;
     let mut next_ping = u64::MAX;
     let mut ping_nonce: u64 = 0;
+    let ckpt_every = match &cfg.checkpoint {
+        Some(_) if cfg.checkpoint_every_ms > 0 => cfg.checkpoint_every_ms,
+        _ => 0,
+    };
+    let mut next_ckpt = if ckpt_every > 0 { ckpt_every } else { u64::MAX };
+    // (len, last_slot) at the last write: skip checkpoints with no news
+    let mut ckpt_state = (proto.peer().len(), restored_slot);
 
     loop {
         let now = now_ms(&start);
@@ -452,6 +649,7 @@ pub fn run_daemon(cfg: DaemonConfig) -> std::io::Result<()> {
             deadline = deadline.min(wake.max(now));
         }
         deadline = deadline.min(next_ping.max(now));
+        deadline = deadline.min(next_ckpt.max(now));
         let event = match events_rx.recv_timeout(Duration::from_millis(deadline - now)) {
             Ok(ev) => Some(ev),
             Err(RecvTimeoutError::Timeout) => None,
@@ -503,6 +701,9 @@ pub fn run_daemon(cfg: DaemonConfig) -> std::io::Result<()> {
                     &events_tx,
                 );
                 if quit {
+                    if let Some(path) = cfg.checkpoint.as_deref() {
+                        save_checkpoint(path, &proto, learner.last_slot, &telemetry);
+                    }
                     break;
                 }
             }
@@ -524,8 +725,40 @@ pub fn run_daemon(cfg: DaemonConfig) -> std::io::Result<()> {
             }
             next_ping = now + cfg.ping_interval_ms;
         }
+        if ckpt_every > 0 && now >= next_ckpt {
+            let state = (proto.peer().len(), learner.last_slot);
+            if state != ckpt_state {
+                let path = cfg.checkpoint.as_deref().expect("ckpt_every implies path");
+                if save_checkpoint(path, &proto, learner.last_slot, &telemetry) {
+                    ckpt_state = state;
+                }
+            }
+            next_ckpt = now + ckpt_every;
+        }
     }
     Ok(())
+}
+
+/// Persist the current replica; `true` on success. Failures are
+/// counted, not fatal: a daemon that cannot checkpoint still gossips,
+/// it just restores from an older prefix after a crash.
+fn save_checkpoint(
+    path: &Path,
+    proto: &NodeProtocol,
+    last_slot: u64,
+    telemetry: &lt_telemetry::Telemetry,
+) -> bool {
+    let bytes = daemon_checkpoint_bytes(proto.peer(), last_slot);
+    match write_checkpoint_atomic(path, &bytes) {
+        Ok(()) => {
+            telemetry.count("net.checkpoints", 1);
+            true
+        }
+        Err(_) => {
+            telemetry.count("net.checkpoint_errors", 1);
+            false
+        }
+    }
 }
 
 /// Handle one control-plane request; `true` means shut down.
@@ -650,6 +883,7 @@ fn handle_control(
                     genesis_id,
                     queue_cap: cfg.queue_cap,
                     token_base,
+                    seed: cfg.seed,
                 };
                 std::thread::spawn(move || dial_loop(dial, tx, tel));
             }
@@ -664,4 +898,79 @@ fn handle_control(
         _ => {}
     }
     false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decorrelated_backoff_stays_in_bounds_and_decorrelates() {
+        let mut rng = seeded(7);
+        let mut prev = BACKOFF_BASE_MS;
+        for _ in 0..200 {
+            let next = decorrelated_backoff(prev, &mut rng);
+            assert!((BACKOFF_BASE_MS..=BACKOFF_CAP_MS).contains(&next));
+            assert!(next <= prev.saturating_mul(3).max(BACKOFF_BASE_MS));
+            prev = next;
+        }
+        // two dialers over the same link seed draw identical streams...
+        let mut a = seeded(derive(derive(1, 0x0BAC_00FF), 5));
+        let mut b = seeded(derive(derive(1, 0x0BAC_00FF), 5));
+        assert_eq!(
+            decorrelated_backoff(400, &mut a),
+            decorrelated_backoff(400, &mut b)
+        );
+        // ...but different links desynchronize (the thundering-herd fix)
+        let mut c = seeded(derive(derive(1, 0x0BAC_00FF), 6));
+        let xs: Vec<u64> = (0..8).map(|_| decorrelated_backoff(400, &mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| decorrelated_backoff(400, &mut c)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn daemon_checkpoint_roundtrips_and_rejects_damage() {
+        let preset = Preset { nodes: 3, seed: 9 };
+        let genesis = preset.genesis();
+        let peer = Peer::new(1, &genesis, 0).with_orphan_cap(ORPHAN_CAP);
+        let bytes = daemon_checkpoint_bytes(&peer, 42);
+        let (back, slot) = decode_daemon_checkpoint(1, &bytes, 0, ORPHAN_CAP).unwrap();
+        assert_eq!(slot, 42);
+        assert_eq!(back.len(), peer.len());
+        assert_eq!(back.content_id_of(TxId(0)), genesis.content_id());
+        // any truncation fails closed
+        for cut in [0, 1, 4, 12, bytes.len() - 1] {
+            assert!(decode_daemon_checkpoint(1, &bytes[..cut], 0, ORPHAN_CAP).is_err());
+        }
+        // any single bit flip fails the whole-file checksum (or a
+        // deeper validation layer)
+        for pos in [0, 4, 5, 9, 16, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(decode_daemon_checkpoint(1, &bad, 0, ORPHAN_CAP).is_err());
+        }
+    }
+
+    #[test]
+    fn load_checkpoint_rejects_foreign_genesis() {
+        let dir = std::env::temp_dir().join(format!("ltnd-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.ltnd");
+        let preset = Preset { nodes: 3, seed: 9 };
+        // the preset genesis is seed-invariant, so a truly foreign
+        // ledger needs a different genesis nonce
+        let foreign = TxMessage::create(
+            &tinynn::ParamVec::from_model(&Preset::build()),
+            vec![],
+            u64::MAX,
+            0,
+            1,
+        );
+        assert_ne!(foreign.content_id(), preset.genesis().content_id());
+        let peer = Peer::new(1, &foreign, 0).with_orphan_cap(ORPHAN_CAP);
+        write_checkpoint_atomic(&path, &daemon_checkpoint_bytes(&peer, 1)).unwrap();
+        assert!(load_checkpoint(&path, 1, &foreign).is_ok());
+        assert!(load_checkpoint(&path, 1, &preset.genesis()).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
 }

@@ -13,7 +13,16 @@
 //!   slot-striped schedule, one driver thread per daemon, reporting
 //!   wall-clock throughput plus the daemons' socket-level frame/byte
 //!   counters and RTT histograms.
+//!
+//! With [`ClusterOptions::chaos`] set, the driver interposes one
+//! [`ChaosProxies`] TCP proxy per daemon pair (data-plane links cross
+//! the fault injector; control connections stay direct) and a
+//! [`Supervisor`] executes the plan's kill schedule: SIGKILL on
+//! schedule, respawn on the *same* listen address (surviving dialers
+//! keep redialing it, so the mesh heals without re-plumbing), restoring
+//! from checkpoint when the plan says so.
 
+use crate::chaos::{ChaosPlan, ChaosProxies, KillEvent};
 use crate::frame::{read_frame, write_frame, StatusReport, WireMsg, CONTROL_PEER};
 use crate::preset::Preset;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -21,7 +30,7 @@ use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
-use tangle_gossip::TxMessage;
+use tangle_gossip::{Recovery, TxMessage};
 
 /// One synchronous request/response control connection to a daemon.
 pub struct ControlConn {
@@ -152,11 +161,57 @@ impl ThroughputReport {
     }
 }
 
+/// Everything [`Cluster::spawn_with`] needs beyond the binary path.
+#[derive(Clone, Debug)]
+pub struct ClusterOptions {
+    /// Daemon count (= preset population).
+    pub nodes: usize,
+    /// Shared experiment seed.
+    pub seed: u64,
+    /// Daemon liveness-ping interval (0 = off).
+    pub ping_interval_ms: u64,
+    /// Per-connection send-queue bound (None = daemon default).
+    pub queue_cap: Option<usize>,
+    /// Directory for per-daemon checkpoint files (None = no
+    /// checkpoints, so kills recover empty).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Daemon checkpoint cadence, ms.
+    pub checkpoint_every_ms: u64,
+    /// Fault schedule; when set, data-plane links run through
+    /// [`ChaosProxies`] and a [`Supervisor`] can execute the kills.
+    pub chaos: Option<ChaosPlan>,
+}
+
+impl ClusterOptions {
+    /// A healthy-network cluster of `nodes` daemons at `seed`.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        Self {
+            nodes,
+            seed,
+            ping_interval_ms: 0,
+            queue_cap: None,
+            checkpoint_dir: None,
+            checkpoint_every_ms: 250,
+            chaos: None,
+        }
+    }
+}
+
 /// A running cluster of `lt-node` daemons plus control connections.
+/// Slots of killed daemons hold `None` until the supervisor respawns
+/// them.
 pub struct Cluster {
-    procs: Vec<Child>,
-    controls: Vec<ControlConn>,
+    bin: PathBuf,
+    opts: ClusterOptions,
+    genesis_id: u64,
+    procs: Vec<Option<Child>>,
+    controls: Vec<Option<ControlConn>>,
+    /// Real (post-bind) listen address per daemon; a respawn reuses it.
+    addrs: Vec<String>,
     preset: Preset,
+    /// The chaos clock's zero point.
+    epoch: Instant,
+    proxies: Option<ChaosProxies>,
 }
 
 impl Cluster {
@@ -164,53 +219,119 @@ impl Cluster {
     /// wire them into a full mesh, and wait until every daemon reports
     /// all its data connections up.
     pub fn spawn(bin: &Path, nodes: usize, seed: u64, ping_interval_ms: u64) -> io::Result<Self> {
-        let preset = Preset { nodes, seed };
-        let genesis_id = preset.genesis().content_id().0;
-        let mut procs = Vec::with_capacity(nodes);
-        let mut addrs = Vec::with_capacity(nodes);
-        for id in 0..nodes {
-            let mut child = Command::new(bin)
-                .args([
-                    "--id",
-                    &id.to_string(),
-                    "--nodes",
-                    &nodes.to_string(),
-                    "--seed",
-                    &seed.to_string(),
-                    "--listen",
-                    "127.0.0.1:0",
-                    "--ping-ms",
-                    &ping_interval_ms.to_string(),
-                ])
-                .stdout(Stdio::piped())
-                .stderr(Stdio::inherit())
-                .spawn()?;
-            let stdout = child.stdout.take().expect("stdout piped");
-            let addr = read_listen_line(stdout)?;
-            procs.push(child);
-            addrs.push(addr);
+        let mut opts = ClusterOptions::new(nodes, seed);
+        opts.ping_interval_ms = ping_interval_ms;
+        Self::spawn_with(bin, opts)
+    }
+
+    /// [`Cluster::spawn`] with full options: checkpoints, queue bounds,
+    /// and an armed chaos plan.
+    pub fn spawn_with(bin: &Path, opts: ClusterOptions) -> io::Result<Self> {
+        if let Some(plan) = &opts.chaos {
+            plan.validate(opts.nodes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         }
-        let mut controls = Vec::with_capacity(nodes);
-        for addr in &addrs {
-            controls.push(ControlConn::connect(addr, genesis_id)?);
-        }
-        let peers: Vec<(u64, String)> = addrs
-            .iter()
-            .enumerate()
-            .map(|(i, a)| (i as u64, a.clone()))
-            .collect();
-        let mut cluster = Self {
-            procs,
-            controls,
-            preset,
+        let preset = Preset {
+            nodes: opts.nodes,
+            seed: opts.seed,
         };
-        for c in &mut cluster.controls {
-            c.send(&WireMsg::Connect {
-                peers: peers.clone(),
-            })?;
+        let genesis_id = preset.genesis().content_id().0;
+        let mut cluster = Self {
+            bin: bin.to_path_buf(),
+            genesis_id,
+            procs: Vec::with_capacity(opts.nodes),
+            controls: Vec::with_capacity(opts.nodes),
+            addrs: Vec::with_capacity(opts.nodes),
+            preset,
+            epoch: Instant::now(),
+            proxies: None,
+            opts,
+        };
+        for id in 0..cluster.opts.nodes {
+            let (child, addr) = cluster.spawn_daemon(id, "127.0.0.1:0", false)?;
+            cluster.procs.push(Some(child));
+            cluster.addrs.push(addr);
+        }
+        // the chaos clock starts once every daemon is listening
+        cluster.epoch = Instant::now();
+        if let Some(plan) = cluster.opts.chaos.clone() {
+            cluster.proxies = Some(ChaosProxies::spawn(&plan, cluster.epoch, &cluster.addrs)?);
+        }
+        for addr in &cluster.addrs {
+            cluster
+                .controls
+                .push(Some(ControlConn::connect(addr, genesis_id)?));
+        }
+        for id in 0..cluster.opts.nodes {
+            let peers = cluster.address_book(id);
+            cluster.control(id)?.send(&WireMsg::Connect { peers })?;
         }
         cluster.wait_mesh(Duration::from_secs(10))?;
         Ok(cluster)
+    }
+
+    /// Launch one `lt-node` process and parse its `LISTEN` line.
+    fn spawn_daemon(&self, id: usize, listen: &str, restore: bool) -> io::Result<(Child, String)> {
+        let mut cmd = Command::new(&self.bin);
+        cmd.args([
+            "--id",
+            &id.to_string(),
+            "--nodes",
+            &self.opts.nodes.to_string(),
+            "--seed",
+            &self.opts.seed.to_string(),
+            "--listen",
+            listen,
+            "--ping-ms",
+            &self.opts.ping_interval_ms.to_string(),
+        ]);
+        if let Some(cap) = self.opts.queue_cap {
+            cmd.args(["--queue-cap", &cap.to_string()]);
+        }
+        if let Some(dir) = &self.opts.checkpoint_dir {
+            let path = dir.join(format!("daemon-{id}.ltnd"));
+            cmd.args(["--checkpoint".as_ref(), path.as_os_str()]);
+            cmd.args([
+                "--checkpoint-every-ms",
+                &self.opts.checkpoint_every_ms.to_string(),
+            ]);
+        }
+        if restore {
+            cmd.arg("--restore");
+        }
+        let mut child = cmd
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("stdout piped");
+        match read_listen_line(stdout) {
+            Ok(addr) => Ok((child, addr)),
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                Err(e)
+            }
+        }
+    }
+
+    /// The address book daemon `dialer` should use: peers it will dial
+    /// (higher ids) routed through the chaos proxies when armed.
+    fn address_book(&self, dialer: usize) -> Vec<(u64, String)> {
+        (0..self.opts.nodes)
+            .map(|j| {
+                let addr = self
+                    .proxies
+                    .as_ref()
+                    .and_then(|p| p.addr_for(dialer, j))
+                    .unwrap_or(&self.addrs[j]);
+                (j as u64, addr.clone())
+            })
+            .collect()
+    }
+
+    /// Milliseconds since the chaos epoch (daemons all listening).
+    pub fn elapsed_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
     }
 
     /// The preset the cluster runs.
@@ -218,7 +339,7 @@ impl Cluster {
         self.preset
     }
 
-    /// Daemon count.
+    /// Daemon count (including currently killed ones).
     pub fn len(&self) -> usize {
         self.controls.len()
     }
@@ -226,6 +347,74 @@ impl Cluster {
     /// Clusters are never empty.
     pub fn is_empty(&self) -> bool {
         self.controls.is_empty()
+    }
+
+    /// The control connection to daemon `i`, or an error if it is
+    /// currently killed.
+    fn control(&mut self, i: usize) -> io::Result<&mut ControlConn> {
+        self.controls[i].as_mut().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotConnected, format!("daemon {i} is down"))
+        })
+    }
+
+    /// Liveness per daemon: the process exists and has not exited.
+    /// (A health check on the OS process, not the protocol — a wedged
+    /// daemon still pings via [`ControlConn::ping`].)
+    pub fn health(&mut self) -> Vec<bool> {
+        self.procs
+            .iter_mut()
+            .map(|p| match p {
+                Some(child) => matches!(child.try_wait(), Ok(None)),
+                None => false,
+            })
+            .collect()
+    }
+
+    /// Is daemon `i` currently up (not killed, process alive)?
+    pub fn alive(&mut self, i: usize) -> bool {
+        self.health()[i]
+    }
+
+    /// SIGKILL daemon `i` — no graceful shutdown, no final checkpoint;
+    /// whatever the daemon last persisted is what a restore gets.
+    pub fn kill(&mut self, i: usize) -> io::Result<()> {
+        let Some(mut child) = self.procs[i].take() else {
+            return Ok(()); // already down
+        };
+        child.kill()?;
+        child.wait()?;
+        self.controls[i] = None;
+        Ok(())
+    }
+
+    /// Respawn a killed daemon on its original listen address
+    /// (`restore` = rebuild from its checkpoint file). Surviving peers'
+    /// dialers are already redialing that address, so the mesh heals on
+    /// its own; only the respawned daemon needs a fresh `Connect` book
+    /// for the peers *it* dials.
+    pub fn respawn(&mut self, i: usize, restore: bool) -> io::Result<()> {
+        if self.procs[i].is_some() {
+            return Ok(()); // already up
+        }
+        let listen = self.addrs[i].clone();
+        // the freed port can lag a SIGKILL by a moment; retry the bind
+        let mut last_err = None;
+        for _ in 0..20 {
+            match self.spawn_daemon(i, &listen, restore) {
+                Ok((child, addr)) => {
+                    debug_assert_eq!(addr, listen);
+                    self.procs[i] = Some(child);
+                    self.controls[i] = Some(ControlConn::connect(&addr, self.genesis_id)?);
+                    let peers = self.address_book(i);
+                    return self.control(i)?.send(&WireMsg::Connect { peers });
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+        Err(last_err.expect("retry loop ran"))
     }
 
     fn wait_mesh(&mut self, timeout: Duration) -> io::Result<()> {
@@ -246,11 +435,10 @@ impl Cluster {
         }
     }
 
-    /// Poll each daemon's status once.
+    /// Poll each daemon's status once (errors if any daemon is down).
     pub fn status(&mut self) -> io::Result<Vec<StatusReport>> {
-        self.controls
-            .iter_mut()
-            .map(|c| match c.request(&WireMsg::StatusReq)? {
+        (0..self.controls.len())
+            .map(|i| match self.control(i)?.request(&WireMsg::StatusReq)? {
                 WireMsg::Status(s) => Ok(s),
                 other => Err(bad_reply("Status", &other)),
             })
@@ -279,6 +467,15 @@ impl Cluster {
         }
     }
 
+    /// Activate daemon `target` at `slot`; `true` if it published.
+    /// (The soak loop drives single activations without lockstep.)
+    pub fn activate(&mut self, target: usize, slot: u64) -> io::Result<bool> {
+        match self.control(target)?.request(&WireMsg::Activate { slot })? {
+            WireMsg::Activated { published, .. } => Ok(published),
+            other => Err(bad_reply("Activated", &other)),
+        }
+    }
+
     /// Drive `schedule` in lockstep: activation `k` runs at global slot
     /// `k + 1` on daemon `schedule[k]`, and the cluster must fully
     /// converge before the next activation fires.
@@ -287,7 +484,7 @@ impl Cluster {
         let mut published = 0u64;
         for (k, &peer) in schedule.iter().enumerate() {
             let slot = (k + 1) as u64;
-            match self.controls[peer].request(&WireMsg::Activate { slot })? {
+            match self.control(peer)?.request(&WireMsg::Activate { slot })? {
                 WireMsg::Activated { published: did, .. } => {
                     if did {
                         expected_len += 1;
@@ -312,11 +509,20 @@ impl Cluster {
     /// socket-level accounting.
     pub fn throughput(&mut self, per_node: usize) -> io::Result<ThroughputReport> {
         let n = self.controls.len();
+        let conns: Vec<&mut ControlConn> = self
+            .controls
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| {
+                c.as_mut().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::NotConnected, format!("daemon {i} is down"))
+                })
+            })
+            .collect::<io::Result<_>>()?;
         let t0 = Instant::now();
         let published: u64 = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .controls
-                .iter_mut()
+            let handles: Vec<_> = conns
+                .into_iter()
                 .enumerate()
                 .map(|(i, conn)| {
                     scope.spawn(move || -> io::Result<u64> {
@@ -378,9 +584,8 @@ impl Cluster {
     /// Fetch every daemon's replica archive (insertion order, genesis
     /// excluded).
     pub fn archives(&mut self) -> io::Result<Vec<Vec<TxMessage>>> {
-        self.controls
-            .iter_mut()
-            .map(|c| match c.request(&WireMsg::ArchiveReq)? {
+        (0..self.controls.len())
+            .map(|i| match self.control(i)?.request(&WireMsg::ArchiveReq)? {
                 WireMsg::Archive(msgs) => Ok(msgs),
                 other => Err(bad_reply("Archive", &other)),
             })
@@ -389,26 +594,27 @@ impl Cluster {
 
     /// Ask every daemon for its consensus evaluation at `slot`.
     pub fn evaluate(&mut self, slot: u64, eval_seed: u64) -> io::Result<Vec<(u32, u32)>> {
-        self.controls
-            .iter_mut()
-            .map(
-                |c| match c.request(&WireMsg::EvalReq { slot, eval_seed })? {
+        (0..self.controls.len())
+            .map(|i| {
+                match self
+                    .control(i)?
+                    .request(&WireMsg::EvalReq { slot, eval_seed })?
+                {
                     WireMsg::Eval {
                         loss_bits,
                         acc_bits,
                     } => Ok((loss_bits, acc_bits)),
                     other => Err(bad_reply("Eval", &other)),
-                },
-            )
+                }
+            })
             .collect()
     }
 
     /// Fetch every daemon's telemetry counters and histogram totals.
     #[allow(clippy::type_complexity)]
     pub fn metrics(&mut self) -> io::Result<Vec<(Vec<(String, u64)>, Vec<(String, u64, u64)>)>> {
-        self.controls
-            .iter_mut()
-            .map(|c| match c.request(&WireMsg::MetricsReq)? {
+        (0..self.controls.len())
+            .map(|i| match self.control(i)?.request(&WireMsg::MetricsReq)? {
                 WireMsg::Metrics {
                     counters,
                     histograms,
@@ -420,11 +626,11 @@ impl Cluster {
 
     /// Shut every daemon down and reap the processes.
     pub fn shutdown(mut self) -> io::Result<()> {
-        for c in &mut self.controls {
+        for c in self.controls.iter_mut().flatten() {
             let _ = c.send(&WireMsg::Shutdown);
         }
         let deadline = Instant::now() + Duration::from_secs(5);
-        for child in &mut self.procs {
+        for child in self.procs.iter_mut().flatten() {
             loop {
                 match child.try_wait()? {
                     Some(_) => break,
@@ -437,19 +643,112 @@ impl Cluster {
                 }
             }
         }
+        if let Some(p) = self.proxies.take() {
+            p.shutdown();
+        }
         Ok(())
     }
 }
 
 impl Drop for Cluster {
     fn drop(&mut self) {
-        for c in &mut self.controls {
+        for c in self.controls.iter_mut().flatten() {
             let _ = c.send(&WireMsg::Shutdown);
         }
-        for child in &mut self.procs {
+        for child in self.procs.iter_mut().flatten() {
             let _ = child.kill();
             let _ = child.wait();
         }
+        if let Some(p) = self.proxies.take() {
+            p.shutdown();
+        }
+    }
+}
+
+/// Executes a [`ChaosPlan`]'s kill schedule against a live cluster:
+/// SIGKILL at `at_ms`, respawn (optionally `--restore`) at
+/// `restore_at_ms`, with the cluster's own clock as the schedule's
+/// clock. Call [`Supervisor::poll`] from the driving loop; call
+/// [`Supervisor::heal`] once driving ends to bring every remaining
+/// corpse back up so the final audit sees a full cluster.
+pub struct Supervisor {
+    /// Kills not yet executed, ascending `at_ms`.
+    pending_kills: Vec<KillEvent>,
+    /// Kills executed but not yet restored.
+    pending_restores: Vec<KillEvent>,
+    /// Kills performed so far.
+    pub kills: u64,
+    /// Respawns performed so far.
+    pub respawns: u64,
+}
+
+impl Supervisor {
+    /// A supervisor for `plan`'s kill schedule.
+    pub fn new(plan: &ChaosPlan) -> Self {
+        let mut pending_kills = plan.kills.clone();
+        pending_kills.sort_by_key(|k| k.at_ms);
+        Self {
+            pending_kills,
+            pending_restores: Vec::new(),
+            kills: 0,
+            respawns: 0,
+        }
+    }
+
+    /// Execute every kill and restore that is due at the cluster's
+    /// current clock. Health-checks before killing: a daemon that
+    /// already died on its own is only respawned.
+    pub fn poll(&mut self, cluster: &mut Cluster) -> io::Result<()> {
+        let now = cluster.elapsed_ms();
+        while self.pending_kills.first().is_some_and(|k| k.at_ms <= now) {
+            let ev = self.pending_kills.remove(0);
+            if cluster.alive(ev.daemon) {
+                cluster.kill(ev.daemon)?;
+                self.kills += 1;
+            }
+            self.pending_restores.push(ev);
+        }
+        let due: Vec<KillEvent> = {
+            let mut due = Vec::new();
+            self.pending_restores.retain(|ev| {
+                if ev.restore_at_ms <= now {
+                    due.push(*ev);
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for ev in due {
+            let restore = ev.recovery == Recovery::FromCheckpoint;
+            cluster.respawn(ev.daemon, restore)?;
+            self.respawns += 1;
+        }
+        Ok(())
+    }
+
+    /// All events executed?
+    pub fn done(&self) -> bool {
+        self.pending_kills.is_empty() && self.pending_restores.is_empty()
+    }
+
+    /// Respawn everything still scheduled or still down, regardless of
+    /// time — the end-of-run heal before the convergence audit.
+    pub fn heal(&mut self, cluster: &mut Cluster) -> io::Result<()> {
+        self.pending_kills.clear(); // never executed: nothing to restore
+        for ev in self.pending_restores.drain(..).collect::<Vec<_>>() {
+            cluster.respawn(ev.daemon, ev.recovery == Recovery::FromCheckpoint)?;
+            self.respawns += 1;
+        }
+        // belt and braces: anything else that died comes back too
+        for i in 0..cluster.len() {
+            if !cluster.alive(i) {
+                cluster.respawn(i, true)?;
+                self.respawns += 1;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -221,6 +221,17 @@ fn frame_check(kind: u8, payload: &[u8]) -> u64 {
     h
 }
 
+/// Plain FNV-1a over a byte slice. Used by the daemon checkpoint
+/// envelope, which needs a whole-file checksum without a kind byte.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// Bounds-checked little-endian reader over a payload slice.
 struct Cursor<'a> {
     b: &'a [u8],

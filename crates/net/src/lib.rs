@@ -27,11 +27,22 @@
 //!   config, genesis) every executor of a cross-process differential run
 //!   reconstructs independently.
 //! * [`daemon`] — the `lt-node` daemon: listener, per-connection
-//!   read/write loops, reconnect-with-backoff, telemetry counters.
+//!   read/write loops, reconnect with decorrelated-jitter backoff,
+//!   telemetry counters, and periodic `LTND` crash-recovery checkpoints
+//!   with a `--restore` startup path.
 //! * [`driver`] — spawns N local daemons and drives them: a lockstep
-//!   schedule for byte-agreement with the in-process executors, and a
-//!   sustained-publish throughput/latency benchmark.
+//!   schedule for byte-agreement with the in-process executors, a
+//!   sustained-publish throughput/latency benchmark, and a
+//!   [`driver::Supervisor`] that SIGKILLs and respawns daemons on a
+//!   chaos schedule.
+//! * [`chaos`] — socket-level fault injection: a seeded, serializable
+//!   [`ChaosPlan`] of link partitions, latency/jitter, throttling, byte
+//!   corruption, and resets, armed via per-pair TCP proxies
+//!   ([`chaos::ChaosProxies`]).
+//! * [`soak`] — long-haul runs under rolling chaos, asserting
+//!   reconvergence, bounded repair, and cross-daemon archive agreement.
 
+pub mod chaos;
 pub mod daemon;
 pub mod driver;
 pub mod frame;
@@ -39,9 +50,15 @@ pub mod mock;
 pub mod preset;
 pub mod protocol;
 pub mod queue;
+pub mod soak;
 
+pub use chaos::{
+    ChaosAction, ChaosPlan, ChaosProxies, KillEvent, LinkChaos, LinkDirection, LinkFault,
+};
 pub use daemon::{run_daemon, DaemonConfig};
-pub use driver::{default_node_bin, Cluster, LockstepReport, ThroughputReport};
+pub use driver::{
+    default_node_bin, Cluster, ClusterOptions, LockstepReport, Supervisor, ThroughputReport,
+};
 pub use frame::{
     decode_frame, encode_frame, read_frame, write_frame, FrameError, StatusReport, WireMsg,
     CONTROL_PEER, MAX_PAYLOAD,
@@ -50,3 +67,4 @@ pub use mock::MockTransport;
 pub use preset::{Preset, ORPHAN_CAP};
 pub use protocol::NodeProtocol;
 pub use queue::SendQueue;
+pub use soak::{run_soak, SoakConfig, SoakReport};

@@ -11,7 +11,7 @@
 use feddata::blobs::{self, BlobsConfig};
 use feddata::FederatedDataset;
 use learning_tangle::{Node, SimConfig, TangleHyperParams};
-use tangle_gossip::TxMessage;
+use tangle_gossip::{RepairConfig, TxMessage};
 use tinynn::rng::{derive, seeded};
 use tinynn::{ParamVec, Sequential};
 
@@ -76,6 +76,21 @@ impl Preset {
             0,
             0,
         )
+    }
+
+    /// Repair timing for real daemons. The protocol default counts in
+    /// simulator ticks (delay 8, backoff base 8); a daemon's clock is
+    /// wall milliseconds, so those values would re-request orphan
+    /// parents almost instantly. These are the same shape on an
+    /// ms-scale: first re-request after 25ms, backoff base 25ms, the
+    /// protocol's shared retry cap.
+    pub fn repair_cfg() -> RepairConfig {
+        RepairConfig {
+            enabled: true,
+            delay: 25,
+            backoff_base: 25,
+            max_retries: 6,
+        }
     }
 
     /// The honest node population over [`Preset::dataset`].

@@ -48,6 +48,24 @@ impl NodeProtocol {
         }
     }
 
+    /// A protocol engine wrapped around an already-built replica —
+    /// the restore path: the daemon rebuilds its [`Peer`] from an LTCP
+    /// checkpoint and resumes gossiping from that prefix. Repair state
+    /// starts empty; head advertisement rounds re-arm it as live
+    /// neighbours reveal what the checkpoint missed.
+    pub fn from_peer(peer: Peer) -> Self {
+        Self {
+            id: peer.id,
+            peer,
+            neighbours: Vec::new(),
+            repair_cfg: RepairConfig::default(),
+            attempts: BTreeMap::new(),
+            next_tick: None,
+            now: 0,
+            telemetry: lt_telemetry::Telemetry::disabled(),
+        }
+    }
+
     /// Override the repair parameters.
     pub fn set_repair(&mut self, cfg: RepairConfig) {
         self.repair_cfg = cfg;

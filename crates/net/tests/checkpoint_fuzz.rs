@@ -1,0 +1,167 @@
+//! Adversarial daemon-checkpoint tests: whatever instant a SIGKILL lands,
+//! `--restore` must come back with a valid *prefix* of the killed
+//! daemon's history — or start empty and let the repair protocol refill
+//! it. Decoding must never panic, never trust a damaged file, and never
+//! serve diverged history. Same idiom as `crates/core/tests/persist_fuzz.rs`,
+//! aimed at the `LTND` envelope instead of the `LTGL` ledger file.
+
+use lt_net::daemon::{
+    daemon_checkpoint_bytes, decode_daemon_checkpoint, load_checkpoint, write_checkpoint_atomic,
+    DAEMON_CKPT_MAGIC, DAEMON_CKPT_VERSION,
+};
+use lt_net::{Preset, ORPHAN_CAP};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use tangle_gossip::{Peer, ReceiveOutcome, TxMessage};
+use tinynn::ParamVec;
+
+fn preset() -> Preset {
+    Preset { nodes: 3, seed: 7 }
+}
+
+/// A peer that accepted `n` transactions beyond genesis, plus those
+/// messages in insertion order (the ground-truth history).
+fn peer_with(n: usize) -> (Peer, Vec<TxMessage>) {
+    let p = preset();
+    let genesis = p.genesis();
+    let mut peer = Peer::new(0, &genesis, 0).with_orphan_cap(ORPHAN_CAP);
+    let mut msgs = Vec::new();
+    let mut prev = genesis.content_id();
+    for i in 0..n as u64 {
+        let m = TxMessage::create(
+            &ParamVec(vec![i as f32, -1.0]),
+            vec![prev, genesis.content_id()],
+            i % 3,
+            i + 1,
+            0,
+        );
+        assert_eq!(peer.receive(&m), ReceiveOutcome::Accepted);
+        prev = m.content_id();
+        msgs.push(m);
+    }
+    (peer, msgs)
+}
+
+/// One valid checkpoint, shared across cases (building the preset peer
+/// per case would dominate the fuzz time).
+fn sample_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let (peer, _) = peer_with(5);
+        daemon_checkpoint_bytes(&peer, 5)
+    })
+}
+
+fn encode_all(msgs: &[TxMessage]) -> Vec<Vec<u8>> {
+    msgs.iter().map(|m| m.encode().to_vec()).collect()
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ltnd-fuzz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any strict prefix of a valid checkpoint fails to decode — cleanly.
+    /// This is every possible torn write, had the write not been atomic.
+    #[test]
+    fn truncation_always_errs(cut in 0usize..100_000) {
+        let b = sample_bytes();
+        let cut = cut % b.len();
+        prop_assert!(decode_daemon_checkpoint(0, &b[..cut], 0, ORPHAN_CAP).is_err());
+    }
+
+    /// Any single bit flip is rejected: the whole-file FNV-1a trailer
+    /// covers everything before it, and each `h -> (h ^ b) * prime` step
+    /// is injective, so a body flip always changes the final hash while
+    /// a trailer flip leaves the body hash behind the stored value.
+    #[test]
+    fn bit_flips_always_err_never_panic(pos in 0usize..100_000, bit in 0u8..8) {
+        let mut b = sample_bytes().to_vec();
+        let pos = pos % b.len();
+        b[pos] ^= 1 << bit;
+        prop_assert!(decode_daemon_checkpoint(0, &b, 0, ORPHAN_CAP).is_err());
+    }
+
+    /// Random garbage — with or without a genuine-looking header stapled
+    /// on — is rejected without panicking and without a length-field
+    /// driven allocation.
+    #[test]
+    fn garbage_always_errs(
+        tail in prop::collection::vec(any::<u8>(), 0..256),
+        with_header in any::<bool>(),
+    ) {
+        let mut b = Vec::new();
+        if with_header {
+            b.extend_from_slice(DAEMON_CKPT_MAGIC);
+            b.push(DAEMON_CKPT_VERSION);
+        }
+        b.extend_from_slice(&tail);
+        prop_assert!(decode_daemon_checkpoint(0, &b, 0, ORPHAN_CAP).is_err());
+    }
+
+    /// A valid checkpoint restores the exact ledger it snapshotted:
+    /// same length, same slot cursor, byte-identical archive.
+    #[test]
+    fn roundtrip_preserves_history(n in 0usize..6, slot in 0u64..1_000_000) {
+        let (peer, msgs) = peer_with(n);
+        let b = daemon_checkpoint_bytes(&peer, slot);
+        let (back, got_slot) = decode_daemon_checkpoint(0, &b, 0, ORPHAN_CAP).unwrap();
+        prop_assert_eq!(got_slot, slot);
+        prop_assert_eq!(back.len(), n + 1);
+        prop_assert_eq!(encode_all(&back.export_messages()), encode_all(&msgs));
+    }
+
+    /// Simulated SIGKILL mid-checkpoint: the atomic tmp+rename protocol
+    /// means the real file still holds the *previous* checkpoint while
+    /// the tmp holds an arbitrary prefix of the new one. Restore must
+    /// ignore the tmp and come back with the older — valid — prefix of
+    /// history, never a torn or diverged ledger.
+    #[test]
+    fn kill_during_checkpoint_restores_previous_prefix(
+        k in 0usize..4,
+        extra in 1usize..4,
+        cut in 0usize..100_000,
+    ) {
+        let (full_peer, msgs) = peer_with(k + extra);
+        let (old_peer, _) = peer_with(k); // same deterministic history
+        let old = daemon_checkpoint_bytes(&old_peer, k as u64);
+        let new = daemon_checkpoint_bytes(&full_peer, (k + extra) as u64);
+
+        let path = scratch(&format!("kill-{k}-{extra}.ltnd"));
+        write_checkpoint_atomic(&path, &old).unwrap();
+        // the torn tmp a mid-write SIGKILL leaves behind
+        let tmp = path.with_extension("ltnd.tmp");
+        std::fs::write(&tmp, &new[..cut % new.len()]).unwrap();
+
+        let (back, slot) = load_checkpoint(&path, 0, &preset().genesis()).unwrap();
+        prop_assert_eq!(slot, k as u64);
+        prop_assert_eq!(back.len(), k + 1);
+        // the restored archive is a byte-exact prefix of the full history
+        prop_assert_eq!(encode_all(&back.export_messages()), encode_all(&msgs[..k]));
+    }
+
+    /// Had a torn write reached the real file anyway (no atomicity), the
+    /// decode-or-empty restore path errs cleanly — the daemon then starts
+    /// from genesis and lets pull-based repair refill the ledger.
+    #[test]
+    fn torn_file_fails_open(cut in 0usize..100_000) {
+        let b = sample_bytes();
+        let cut = cut % b.len(); // strictly shorter
+        let path = scratch(&format!("torn-{cut}.ltnd"));
+        std::fs::write(&path, &b[..cut]).unwrap();
+        prop_assert!(load_checkpoint(&path, 0, &preset().genesis()).is_err());
+    }
+}
+
+/// Missing checkpoint files surface as a clean error (the daemon's
+/// `--restore` treats it as cold start), not a panic.
+#[test]
+fn missing_file_errs_cleanly() {
+    let path = scratch("never-written.ltnd");
+    assert!(load_checkpoint(&path, 0, &preset().genesis()).is_err());
+}

@@ -1,11 +1,13 @@
 //! Ground-truth telemetry: the `net.*` counters must equal independent
 //! socket- and queue-level accounting, not merely move. Frames swallowed
 //! on the peer-down path are `net.rejected`, frames swallowed on queue
-//! overflow are `net.dropped`, and after a drained run every data frame
-//! one daemon sent was received by exactly one other daemon.
+//! overflow are `net.dropped`, frames accepted for delivery and then
+//! drained into a dead socket are `net.conn_lost`, and after a drained
+//! run every data frame one daemon sent was received by exactly one
+//! other daemon.
 
-use lt_net::daemon::Router;
-use lt_net::{default_node_bin, Cluster, SendQueue, WireMsg};
+use lt_net::daemon::{spawn_data_writer, Router};
+use lt_net::{default_node_bin, encode_frame, Cluster, SendQueue, WireMsg};
 use lt_telemetry::{MemorySink, Telemetry};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -63,6 +65,71 @@ fn router_counts_every_swallowed_frame() {
         ProtocolMsg::Request { wants: vec![] }
     ));
     assert_eq!(telemetry.counter_value("net.rejected"), before + 1);
+}
+
+/// Every frame accepted into a send queue lands in *exactly one* of
+/// `net.frames_sent` (written to a live socket) or `net.conn_lost`
+/// (drained after the socket died) — the write-to-dead-socket
+/// complement of `net.dropped`, which is queue overflow on a live
+/// connection. Driven against a real TCP peer that disappears
+/// mid-stream.
+#[test]
+fn dead_socket_frames_are_counted_conn_lost() {
+    use std::io::Read as _;
+    use std::net::TcpListener;
+
+    let telemetry = Telemetry::new(MemorySink::new());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let client = std::net::TcpStream::connect(addr).expect("connect");
+    let (mut server, _) = listener.accept().expect("accept");
+
+    let queue = SendQueue::new(1024);
+    let writer = spawn_data_writer(client, queue.clone(), telemetry.clone());
+    let frame = encode_frame(&WireMsg::Advertise {
+        heads: vec![ContentId(7)],
+    });
+
+    // live phase: frames flow and are read by the peer
+    const LIVE: u64 = 3;
+    for _ in 0..LIVE {
+        assert!(queue.push(frame.clone()));
+    }
+    let mut got = vec![0u8; frame.len() * LIVE as usize];
+    server.read_exact(&mut got).expect("peer reads live frames");
+
+    // the peer dies mid-stream; keep pushing until the writer notices
+    // (first write after the RST fails, every drain after that is a
+    // conn_lost). The kernel may buffer a few frames as "sent" first —
+    // the ledger below is exact regardless.
+    drop(server);
+    let mut pushed = LIVE;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while telemetry.counter_value("net.conn_lost") == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "writer never observed the dead socket"
+        );
+        for _ in 0..4 {
+            if queue.push(frame.clone()) {
+                pushed += 1;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    queue.close();
+    writer.join().expect("writer exits");
+
+    let sent = telemetry.counter_value("net.frames_sent");
+    let lost = telemetry.counter_value("net.conn_lost");
+    assert!(sent >= LIVE, "the live frames were counted sent");
+    assert!(lost > 0, "the dead-socket frames were counted lost");
+    assert_eq!(
+        sent + lost,
+        pushed,
+        "every accepted frame is sent or conn_lost, never both or neither"
+    );
+    assert_eq!(telemetry.counter_value("net.dropped"), 0);
 }
 
 type Metrics = (Vec<(String, u64)>, Vec<(String, u64, u64)>);

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Long-haul chaos soak: N lt-node daemons under a rolling, seeded fault
+# schedule — link partitions, latency/jitter, byte corruption, mid-stream
+# resets, plus supervised SIGKILL + checkpoint-restore cycles. After the
+# schedule burns out the cluster must reconverge through the real repair
+# protocol: equal solid ledgers, quiescent repair counters, byte-agreeing
+# archives that pass the conformance invariant suite. Results land in
+# $OUT/soak.json (with the embedded ChaosPlan as the replay artifact).
+#
+# usage: scripts/soak_net.sh [nodes] [soak-secs] [seed]
+#   NODES / SOAK_SECS / SEED / CHAOS_SEED / OUT / PROFILE env vars
+#   override positionals.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NODES="${NODES:-${1:-4}}"
+SOAK_SECS="${SOAK_SECS:-${2:-60}}"
+SEED="${SEED:-${3:-42}}"
+CHAOS_SEED="${CHAOS_SEED:-7}"
+OUT="${OUT:-results}"
+PROFILE="${PROFILE:-release}"
+
+if [ "$PROFILE" = release ]; then FLAG=--release; else FLAG=; fi
+
+echo "== building lt-node + lt-experiments ($PROFILE) =="
+cargo build $FLAG -p lt-net --bin lt-node -p lt-experiments --bin lt-experiments
+
+BIN_DIR="target/$PROFILE"
+export LT_NODE_BIN="$BIN_DIR/lt-node"
+
+echo "== soak: $NODES daemons, ${SOAK_SECS}s, seed $SEED, chaos seed $CHAOS_SEED =="
+"$BIN_DIR/lt-experiments" net "--nodes=$NODES" "--soak-secs=$SOAK_SECS" \
+  "--seed=$SEED" "--chaos-seed=$CHAOS_SEED" "--out=$OUT"
