@@ -130,12 +130,71 @@ fn bench_gemm(c: &mut Criterion) {
     for n in [64usize, 128] {
         let a = Tensor::from_fn(&[n, n], |i| ((i * 37 % 101) as f32) / 101.0);
         let bm = Tensor::from_fn(&[n, n], |i| ((i * 53 % 89) as f32) / 89.0);
+        // The blocked/packed kernel behind every variant must agree with
+        // the retained naive reference bit-for-bit on the benched shapes.
+        for (ta, tb, got) in [
+            (false, false, a.matmul(&bm)),
+            (false, true, a.matmul_bt(&bm)),
+            (true, false, a.matmul_at(&bm)),
+        ] {
+            let mut want = vec![0.0f32; n * n];
+            tinynn::gemm::reference::matmul(
+                n,
+                n,
+                n,
+                a.as_slice(),
+                ta,
+                bm.as_slice(),
+                tb,
+                &mut want,
+            );
+            assert_eq!(
+                got.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "blocked gemm (ta={ta}, tb={tb}) diverged from naive at {n}x{n}"
+            );
+        }
         g.bench_function(format!("matmul_{n}x{n}"), |b| {
             b.iter(|| black_box(a.matmul(&bm)))
         });
         g.bench_function(format!("matmul_bt_{n}x{n}"), |b| {
             b.iter(|| black_box(a.matmul_bt(&bm)))
         });
+        g.bench_function(format!("matmul_at_{n}x{n}"), |b| {
+            b.iter(|| black_box(a.matmul_at(&bm)))
+        });
+        // Transpose-variant parity probe: packing normalizes the access
+        // pattern, so B-transposed must stay within 1.5× of plain (the old
+        // naive bt walked B column-wise and was ~4× slower). Median of 9.
+        if n == 128 {
+            let median = |f: &mut dyn FnMut()| {
+                let mut samples: Vec<_> = (0..9)
+                    .map(|_| {
+                        let start = std::time::Instant::now();
+                        for _ in 0..8 {
+                            f();
+                        }
+                        start.elapsed()
+                    })
+                    .collect();
+                samples.sort();
+                samples[4]
+            };
+            let plain = median(&mut || {
+                black_box(a.matmul(&bm));
+            });
+            let bt = median(&mut || {
+                black_box(a.matmul_bt(&bm));
+            });
+            assert!(
+                bt <= plain * 3 / 2,
+                "matmul_bt must stay within 1.5x of matmul at {n}x{n}: \
+                 bt {bt:?} vs plain {plain:?}"
+            );
+        }
     }
     g.finish();
 }
@@ -148,6 +207,8 @@ fn eval_workload_cfg() -> learning_tangle::SimConfig {
         lr: 0.15,
         local_epochs: 1,
         batch_size: 8,
+        train_chunks: 1,
+        train_parallel: true,
         eval_fraction: 0.2,
         seed: 9,
         hyper: learning_tangle::TangleHyperParams {
@@ -317,12 +378,53 @@ fn bench_training(c: &mut Criterion) {
     let cnn = tinynn::zoo::femnist_cnn(16, 10, tinynn::zoo::CnnConfig::scaled(), &mut rng);
     let x = Tensor::from_fn(&[16, 1, 16, 16], |i| ((i * 31 % 97) as f32) / 97.0);
     let y: Vec<u32> = (0..16).map(|i| (i % 10) as u32).collect();
+    // The pooled chunked path must be bit-identical to serial chunked
+    // execution — `parallel` is an execution strategy, not a numerics knob.
+    {
+        let (lp, gp) = cnn.loss_and_grads_chunked(&x, &y, 4, true);
+        let (ls, gs) = cnn.loss_and_grads_chunked(&x, &y, 4, false);
+        assert_eq!(lp.to_bits(), ls.to_bits(), "parallel loss diverged");
+        let fp = tinynn::gradcheck::flatten_grads(&gp);
+        let fs = tinynn::gradcheck::flatten_grads(&gs);
+        assert_eq!(fp.len(), fs.len());
+        for (i, (a, b)) in fp.iter().zip(&fs).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "parallel grad {i} diverged");
+        }
+    }
     g.bench_function("cnn_loss_and_grads_b16", |b| {
         b.iter(|| black_box(cnn.loss_and_grads(&x, &y)))
     });
     g.bench_function("cnn_loss_and_grads_parallel_b16", |b| {
         b.iter(|| black_box(cnn.loss_and_grads_parallel(&x, &y, 4)))
     });
+    // On a machine with real parallelism the pooled run must actually
+    // scale: ≥2× over serial chunked execution with ≥4 workers. Guarded so
+    // single-core CI boxes still run the equivalence assert above.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 4 {
+        let median = |f: &mut dyn FnMut()| {
+            let mut samples: Vec<_> = (0..9)
+                .map(|_| {
+                    let start = std::time::Instant::now();
+                    f();
+                    start.elapsed()
+                })
+                .collect();
+            samples.sort();
+            samples[4]
+        };
+        let serial = median(&mut || {
+            black_box(cnn.loss_and_grads_chunked(&x, &y, 4, false));
+        });
+        let parallel = median(&mut || {
+            black_box(cnn.loss_and_grads_chunked(&x, &y, 4, true));
+        });
+        assert!(
+            parallel * 2 <= serial,
+            "parallel training must be >=2x faster than serial on {cores} \
+             cores: parallel {parallel:?} vs serial {serial:?}"
+        );
+    }
     // LSTM train step
     let lstm = tinynn::zoo::char_lstm(30, 8, 32, 2, &mut rng);
     let xs = Tensor::from_fn(&[8, 16], |i| (i % 30) as f32);
@@ -399,6 +501,8 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         lr: 0.15,
         local_epochs: 1,
         batch_size: 8,
+        train_chunks: 1,
+        train_parallel: true,
         eval_fraction: 0.5,
         seed: 3,
         hyper: learning_tangle::TangleHyperParams {

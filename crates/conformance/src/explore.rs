@@ -93,6 +93,8 @@ fn sim_cfg(seed: u64) -> SimConfig {
         lr: 0.2,
         local_epochs: 1,
         batch_size: 8,
+        train_chunks: 1,
+        train_parallel: true,
         eval_fraction: 0.5,
         seed,
         hyper: TangleHyperParams {

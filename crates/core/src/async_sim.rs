@@ -509,6 +509,8 @@ mod tests {
             nodes_per_round: 4,
             lr: 0.15,
             batch_size: 8,
+            train_chunks: 1,
+            train_parallel: true,
             seed: 21,
             hyper: TangleHyperParams {
                 confidence_samples: 6,
@@ -613,6 +615,39 @@ mod tests {
         assert_eq!(on.1, off.1, "commit order must match");
         assert!(!on.2.is_empty());
         assert_eq!(on.2, off.2, "telemetry JSONL must be byte-identical");
+    }
+
+    #[test]
+    fn parallel_training_on_and_off_are_bit_identical_single_worker() {
+        // Same guarantee as the sync sim: pooled gradient chunks are a
+        // pure execution strategy, so a single-worker async run lands on
+        // the same ledger and commit order with `train_parallel` on or off.
+        let ns = nodes();
+        let mut c = cfg();
+        c.train_chunks = 4;
+        let run = |parallel: bool| {
+            let mut c = c.clone();
+            c.train_parallel = parallel;
+            let out = run_async(&ns, &c, build, 1, 14);
+            let structure: Vec<(u64, Vec<u32>)> = out
+                .tangle
+                .transactions()
+                .iter()
+                .map(|tx| {
+                    (
+                        tx.issuer,
+                        tx.parents.iter().map(|p| p.index() as u32).collect(),
+                    )
+                })
+                .collect();
+            let order: Vec<(usize, usize)> =
+                out.events.iter().map(|e| (e.node, e.tangle_len)).collect();
+            (structure, order)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.0, off.0, "ledger structure must match");
+        assert_eq!(on.1, off.1, "commit order must match");
     }
 
     #[test]

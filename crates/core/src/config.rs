@@ -137,6 +137,15 @@ pub struct SimConfig {
     pub lr: f32,
     /// Local mini-batch size.
     pub batch_size: usize,
+    /// Gradient-accumulation chunks per training batch (1 = single-shot
+    /// backward). Chunking changes the float summation order once, but the
+    /// result is a function of the chunk count alone — never of how the
+    /// chunks are executed.
+    pub train_chunks: usize,
+    /// Run gradient chunks on the worker pool. Guaranteed bit-identical to
+    /// serial execution (fixed-order tree reduction), so this is purely a
+    /// wall-clock knob.
+    pub train_parallel: bool,
     /// Fraction of nodes whose held-out data is pooled for evaluation
     /// (paper: 10%).
     pub eval_fraction: f32,
@@ -149,6 +158,14 @@ pub struct SimConfig {
     pub network: Option<NetworkModel>,
 }
 
+fn default_train_chunks() -> usize {
+    1
+}
+
+fn default_train_parallel() -> bool {
+    true
+}
+
 impl Default for SimConfig {
     fn default() -> Self {
         Self {
@@ -156,6 +173,8 @@ impl Default for SimConfig {
             local_epochs: 1,
             lr: 0.06,
             batch_size: 16,
+            train_chunks: default_train_chunks(),
+            train_parallel: default_train_parallel(),
             eval_fraction: 0.1,
             seed: 0,
             hyper: TangleHyperParams::basic(),

@@ -4,7 +4,7 @@
 
 use crate::config::SimConfig;
 use crate::eval_cache::{reference_key, tx_key, EvalCache, ScratchPool};
-use fedavg::local_train;
+use fedavg::{local_train_with, TrainOpts};
 use feddata::ClientData;
 use rand::RngExt;
 use rand_distr::{Distribution, Normal};
@@ -528,12 +528,16 @@ fn honest_step<T: TangleRead<Payload = ModelParams> + Sync>(
     avg.assign_to(&mut model);
     {
         let _span = ctx.telemetry.span("node.local_train_us");
-        local_train(
+        local_train_with(
             &mut model,
             data,
-            cfg.local_epochs,
-            cfg.lr,
-            cfg.batch_size,
+            TrainOpts {
+                epochs: cfg.local_epochs,
+                lr: cfg.lr,
+                batch_size: cfg.batch_size,
+                chunks: cfg.train_chunks,
+                parallel: cfg.train_parallel,
+            },
             rng,
         );
     }

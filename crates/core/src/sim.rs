@@ -634,6 +634,8 @@ mod tests {
             lr: 0.15,
             local_epochs: 1,
             batch_size: 8,
+            train_chunks: 1,
+            train_parallel: true,
             eval_fraction: 0.5,
             seed: 3,
             hyper: TangleHyperParams {
@@ -820,6 +822,26 @@ mod tests {
         assert_eq!(on.1, off.1);
         assert_eq!(on.2.to_bits(), off.2.to_bits());
         assert_eq!(on.3, off.3);
+    }
+
+    #[test]
+    fn parallel_training_on_and_off_are_bit_identical() {
+        // `train_parallel` selects the execution strategy for gradient
+        // chunks, nothing else: the fixed-order tree reduction makes the
+        // pooled run land on the same rounds, ledger, accuracy, and
+        // telemetry bytes as the serial one.
+        let mut cfg = quick_cfg();
+        cfg.train_chunks = 4;
+        let dir = std::env::temp_dir();
+        cfg.train_parallel = true;
+        let on = fingerprint(cfg.clone(), false, &dir.join("lt_par_on.jsonl"));
+        cfg.train_parallel = false;
+        let off = fingerprint(cfg, false, &dir.join("lt_par_off.jsonl"));
+        assert_eq!(on.0, off.0, "RoundStats must match");
+        assert_eq!(on.1, off.1, "ledger structure must match");
+        assert_eq!(on.2.to_bits(), off.2.to_bits(), "accuracy must match");
+        assert!(!on.3.is_empty(), "telemetry must produce output");
+        assert_eq!(on.3, off.3, "telemetry JSONL must be byte-identical");
     }
 
     #[test]

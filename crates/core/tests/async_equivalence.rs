@@ -33,6 +33,8 @@ fn cfg() -> SimConfig {
         lr: 0.15,
         local_epochs: 1,
         batch_size: 8,
+        train_chunks: 1,
+        train_parallel: true,
         eval_fraction: 0.5,
         seed: 9,
         hyper: TangleHyperParams {

@@ -305,6 +305,8 @@ pub fn sim_config(
         local_epochs: 1,
         lr,
         batch_size: 16,
+        train_chunks: 1,
+        train_parallel: true,
         eval_fraction: 0.1,
         seed,
         hyper,

@@ -359,6 +359,8 @@ mod tests {
         SimConfig {
             lr: 0.15,
             batch_size: 8,
+            train_chunks: 1,
+            train_parallel: true,
             seed: 31,
             hyper: TangleHyperParams {
                 confidence_samples: 6,
@@ -485,6 +487,49 @@ mod tests {
         assert_eq!(on.4, off.4, "discarded count must match");
         assert!(!on.5.is_empty());
         assert_eq!(on.5, off.5, "telemetry JSONL must be byte-identical");
+    }
+
+    #[test]
+    fn parallel_training_on_and_off_are_bit_identical() {
+        // Pooled gradient chunks must be invisible to gossip learning:
+        // the same replica structure, consensus metrics, and publish
+        // counts per seed whether chunks run on the worker pool or inline.
+        let run = |parallel: bool| {
+            let mut c = cfg();
+            c.train_chunks = 4;
+            c.train_parallel = parallel;
+            let mut gl = GossipLearning::new(data(6), c, NetworkConfig::default(), build);
+            gl.run(40);
+            gl.network_mut().run_to_quiescence();
+            let structure: Vec<(u64, Vec<u32>)> = gl
+                .network()
+                .peer(0)
+                .replica()
+                .transactions()
+                .iter()
+                .map(|tx| {
+                    (
+                        tx.issuer,
+                        tx.parents.iter().map(|p| p.index() as u32).collect(),
+                    )
+                })
+                .collect();
+            let (loss, acc) = gl.evaluate_peer(0);
+            (
+                structure,
+                loss.to_bits(),
+                acc.to_bits(),
+                gl.published(),
+                gl.discarded(),
+            )
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.0, off.0, "replica structure must match");
+        assert_eq!(on.1, off.1, "consensus loss must be bit-identical");
+        assert_eq!(on.2, off.2, "consensus accuracy must be bit-identical");
+        assert_eq!(on.3, off.3, "published count must match");
+        assert_eq!(on.4, off.4, "discarded count must match");
     }
 
     #[test]

@@ -54,6 +54,8 @@ impl Preset {
             lr: 0.2,
             local_epochs: 1,
             batch_size: 8,
+            train_chunks: 1,
+            train_parallel: true,
             eval_fraction: 0.5,
             seed: self.seed,
             hyper: TangleHyperParams {

@@ -1,11 +1,25 @@
 //! 2-D convolution (stride 1, symmetric zero padding), the building block of
 //! the FEMNIST CNN.
+//!
+//! Both passes are expressed as GEMMs over im2col patch matrices, so all the
+//! arithmetic runs through the blocked/packed kernel in [`crate::gemm`]:
+//!
+//! - forward: `out_b[OC, OH·OW] = bias ⊕ W[OC, IC·K·K] · col_b` (the
+//!   accumulating GEMM starts each chain at the bias, reproducing the
+//!   classic `acc = bias; acc += w·x` loop bit-for-bit),
+//! - weight gradient: `gW += g_b · col_bᵀ` (B-transposed variant),
+//! - input gradient: `gcol = Wᵀ · g_b` (A-transposed variant) scattered back
+//!   with col2im.
+//!
+//! The im2col matrices are built once in the training forward pass and
+//! cached for backward. Batch items are processed serially in ascending
+//! order, keeping gradient accumulation deterministic; data parallelism
+//! belongs to the batch-chunk level in `model.rs`.
 
 use crate::init;
 use crate::layer::{Cache, Layer};
 use crate::tensor::Tensor;
 use rand::Rng;
-use rayon::prelude::*;
 
 /// A 2-D convolution layer over `[B, C, H, W]` inputs.
 ///
@@ -65,6 +79,69 @@ impl Conv2d {
         );
         (b, h, w)
     }
+
+    /// Unfold one item into the `[IC·K·K, OH·OW]` patch matrix: row
+    /// `(c, ky, kx)` holds the input pixel each output position multiplies
+    /// against that kernel tap, with zeros where the tap falls in padding.
+    #[allow(clippy::too_many_arguments)]
+    fn im2col(&self, xb: &[f32], h: usize, w: usize, oh: usize, ow: usize, col: &mut [f32]) {
+        let (ic, k, pad) = (self.in_ch, self.k, self.pad);
+        debug_assert_eq!(col.len(), ic * k * k * oh * ow);
+        col.fill(0.0);
+        for c in 0..ic {
+            let xplane = &xb[c * h * w..(c + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ((c * k + ky) * k + kx) * oh * ow;
+                    for oy in 0..oh {
+                        let iy = oy + ky;
+                        if iy < pad || iy >= h + pad {
+                            continue;
+                        }
+                        let iy = iy - pad;
+                        for ox in 0..ow {
+                            let ix = ox + kx;
+                            if ix < pad || ix >= w + pad {
+                                continue;
+                            }
+                            col[row + oy * ow + ox] = xplane[iy * w + (ix - pad)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scatter a `[IC·K·K, OH·OW]` patch-gradient matrix back onto the input
+    /// plane (the transpose of [`Self::im2col`]): padding taps are dropped,
+    /// overlapping taps accumulate.
+    #[allow(clippy::too_many_arguments)]
+    fn col2im(&self, gcol: &[f32], h: usize, w: usize, oh: usize, ow: usize, gx: &mut [f32]) {
+        let (ic, k, pad) = (self.in_ch, self.k, self.pad);
+        debug_assert_eq!(gcol.len(), ic * k * k * oh * ow);
+        for c in 0..ic {
+            let gplane = &mut gx[c * h * w..(c + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ((c * k + ky) * k + kx) * oh * ow;
+                    for oy in 0..oh {
+                        let iy = oy + ky;
+                        if iy < pad || iy >= h + pad {
+                            continue;
+                        }
+                        let iy = iy - pad;
+                        for ox in 0..ow {
+                            let ix = ox + kx;
+                            if ix < pad || ix >= w + pad {
+                                continue;
+                            }
+                            gplane[iy * w + (ix - pad)] += gcol[row + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Layer for Conv2d {
@@ -72,121 +149,89 @@ impl Layer for Conv2d {
         "Conv2d"
     }
 
-    fn forward(&self, x: &Tensor, _train: bool) -> (Tensor, Cache) {
+    fn forward(&self, x: &Tensor, train: bool) -> (Tensor, Cache) {
         let (b, h, w) = self.check_input(x);
         let (oh, ow) = (self.out_size(h), self.out_size(w));
-        let (ic, oc, k, pad) = (self.in_ch, self.out_ch, self.k, self.pad);
+        let (ic, oc, k) = (self.in_ch, self.out_ch, self.k);
+        let (ickk, ohow) = (ic * k * k, oh * ow);
         let xs = x.as_slice();
         let ws = self.weight.as_slice();
         let bs = self.bias.as_slice();
-        let mut out = vec![0.0f32; b * oc * oh * ow];
-        out.par_chunks_mut(oc * oh * ow)
-            .enumerate()
-            .for_each(|(bi, ob)| {
-                let xb = &xs[bi * ic * h * w..(bi + 1) * ic * h * w];
-                for o in 0..oc {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let mut acc = bs[o];
-                            for c in 0..ic {
-                                let wbase = ((o * ic + c) * k) * k;
-                                let xbase = c * h * w;
-                                for ky in 0..k {
-                                    let iy = oy + ky;
-                                    if iy < pad || iy >= h + pad {
-                                        continue;
-                                    }
-                                    let iy = iy - pad;
-                                    let wrow = &ws[wbase + ky * k..wbase + ky * k + k];
-                                    for (kx, &wv) in wrow.iter().enumerate() {
-                                        let ix = ox + kx;
-                                        if ix < pad || ix >= w + pad {
-                                            continue;
-                                        }
-                                        acc += wv * xb[xbase + iy * w + (ix - pad)];
-                                    }
-                                }
-                            }
-                            ob[(o * oh + oy) * ow + ox] = acc;
-                        }
-                    }
-                }
-            });
-        (Tensor::from_vec(vec![b, oc, oh, ow], out), Cache::none())
+        let mut out = vec![0.0f32; b * oc * ohow];
+        // In training mode the patch matrices are kept for backward; in
+        // inference mode one scratch matrix is reused across items.
+        let mut cols = vec![0.0f32; if train { b * ickk * ohow } else { ickk * ohow }];
+        for bi in 0..b {
+            let xb = &xs[bi * ic * h * w..(bi + 1) * ic * h * w];
+            let col = if train {
+                &mut cols[bi * ickk * ohow..(bi + 1) * ickk * ohow]
+            } else {
+                &mut cols[..]
+            };
+            self.im2col(xb, h, w, oh, ow, col);
+            let ob = &mut out[bi * oc * ohow..(bi + 1) * oc * ohow];
+            for (o, row) in ob.chunks_mut(ohow).enumerate() {
+                row.fill(bs[o]);
+            }
+            crate::gemm::gemm_accum(oc, ohow, ickk, ws, false, col, false, ob);
+        }
+        let cache = if train {
+            Cache::new(cols)
+        } else {
+            Cache::none()
+        };
+        (Tensor::from_vec(vec![b, oc, oh, ow], out), cache)
     }
 
-    fn backward(&self, x: &Tensor, _cache: &Cache, grad_out: &Tensor) -> (Tensor, Vec<Tensor>) {
+    fn backward(&self, x: &Tensor, cache: &Cache, grad_out: &Tensor) -> (Tensor, Vec<Tensor>) {
         let (b, h, w) = self.check_input(x);
         let (oh, ow) = (self.out_size(h), self.out_size(w));
-        let (ic, oc, k, pad) = (self.in_ch, self.out_ch, self.k, self.pad);
+        let (ic, oc, k) = (self.in_ch, self.out_ch, self.k);
+        let (ickk, ohow) = (ic * k * k, oh * ow);
         let xs = x.as_slice();
         let ws = self.weight.as_slice();
         let gs = grad_out.as_slice();
-
-        // Per-batch-item partials reduced with rayon: each item produces its
-        // own grad_x chunk plus dense (grad_w, grad_b) partials.
-        let wlen = self.weight.len();
-        let (grad_x, grad_w, grad_b) = (0..b)
-            .into_par_iter()
-            .map(|bi| {
-                let xb = &xs[bi * ic * h * w..(bi + 1) * ic * h * w];
-                let gb = &gs[bi * oc * oh * ow..(bi + 1) * oc * oh * ow];
-                let mut gx = vec![0.0f32; ic * h * w];
-                let mut gw = vec![0.0f32; wlen];
-                let mut gbias = vec![0.0f32; oc];
-                for o in 0..oc {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let g = gb[(o * oh + oy) * ow + ox];
-                            if g == 0.0 {
-                                continue;
-                            }
-                            gbias[o] += g;
-                            for c in 0..ic {
-                                let wbase = ((o * ic + c) * k) * k;
-                                let xbase = c * h * w;
-                                for ky in 0..k {
-                                    let iy = oy + ky;
-                                    if iy < pad || iy >= h + pad {
-                                        continue;
-                                    }
-                                    let iy = iy - pad;
-                                    for kx in 0..k {
-                                        let ix = ox + kx;
-                                        if ix < pad || ix >= w + pad {
-                                            continue;
-                                        }
-                                        let ix = ix - pad;
-                                        gw[wbase + ky * k + kx] += g * xb[xbase + iy * w + ix];
-                                        gx[xbase + iy * w + ix] += g * ws[wbase + ky * k + kx];
-                                    }
-                                }
-                            }
-                        }
-                    }
+        let cached_cols = cache.try_get::<Vec<f32>>();
+        let mut scratch_col = match cached_cols {
+            Some(_) => Vec::new(),
+            None => vec![0.0f32; ickk * ohow],
+        };
+        let mut grad_w = vec![0.0f32; oc * ickk];
+        let mut grad_b = vec![0.0f32; oc];
+        let mut grad_x = vec![0.0f32; b * ic * h * w];
+        let mut gcol = vec![0.0f32; ickk * ohow];
+        // Items accumulate in ascending batch order: fixed association,
+        // independent of any parallelism in the callers above.
+        for bi in 0..b {
+            let gb = &gs[bi * oc * ohow..(bi + 1) * oc * ohow];
+            for (o, grow) in gb.chunks(ohow).enumerate() {
+                for &g in grow {
+                    grad_b[o] += g;
                 }
-                (vec![(bi, gx)], gw, gbias)
-            })
-            .reduce(
-                || (Vec::new(), vec![0.0f32; wlen], vec![0.0f32; oc]),
-                |(mut xs1, mut w1, mut b1), (xs2, w2, b2)| {
-                    xs1.extend(xs2);
-                    for (a, v) in w1.iter_mut().zip(&w2) {
-                        *a += v;
-                    }
-                    for (a, v) in b1.iter_mut().zip(&b2) {
-                        *a += v;
-                    }
-                    (xs1, w1, b1)
-                },
+            }
+            let col: &[f32] = match cached_cols {
+                Some(cols) => &cols[bi * ickk * ohow..(bi + 1) * ickk * ohow],
+                None => {
+                    let xb = &xs[bi * ic * h * w..(bi + 1) * ic * h * w];
+                    self.im2col(xb, h, w, oh, ow, &mut scratch_col);
+                    &scratch_col
+                }
+            };
+            // gW[OC, IC·K·K] += g_b · col_bᵀ
+            crate::gemm::gemm_accum(oc, ickk, ohow, gb, false, col, true, &mut grad_w);
+            // gcol[IC·K·K, OH·OW] = Wᵀ · g_b, scattered back onto the input
+            crate::gemm::gemm(ickk, ohow, oc, ws, true, gb, false, &mut gcol);
+            self.col2im(
+                &gcol,
+                h,
+                w,
+                oh,
+                ow,
+                &mut grad_x[bi * ic * h * w..(bi + 1) * ic * h * w],
             );
-
-        let mut gx_full = vec![0.0f32; b * ic * h * w];
-        for (bi, gx) in grad_x {
-            gx_full[bi * ic * h * w..(bi + 1) * ic * h * w].copy_from_slice(&gx);
         }
         (
-            Tensor::from_vec(x.shape().to_vec(), gx_full),
+            Tensor::from_vec(x.shape().to_vec(), grad_x),
             vec![
                 Tensor::from_vec(self.weight.shape().to_vec(), grad_w),
                 Tensor::from_vec(vec![oc], grad_b),
@@ -263,5 +308,21 @@ mod tests {
         assert_eq!(gp[1].shape(), &[3]);
         // bias gradient = number of output pixels per channel per batch
         assert_eq!(gp[1].as_slice()[0], (2 * 5 * 5) as f32);
+    }
+
+    /// backward must work (by recomputing im2col) even when forward ran in
+    /// inference mode and cached nothing.
+    #[test]
+    fn backward_without_cached_columns() {
+        let mut rng = crate::rng::seeded(2);
+        let conv = Conv2d::he(1, 2, 3, 1, &mut rng);
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| (i % 5) as f32 * 0.2);
+        let (y, cache_train) = conv.forward(&x, true);
+        let g = Tensor::filled(y.shape(), 0.5);
+        let (gx_cached, gp_cached) = conv.backward(&x, &cache_train, &g);
+        let (gx_fresh, gp_fresh) = conv.backward(&x, &Cache::none(), &g);
+        assert_eq!(gx_cached.as_slice(), gx_fresh.as_slice());
+        assert_eq!(gp_cached[0].as_slice(), gp_fresh[0].as_slice());
+        assert_eq!(gp_cached[1].as_slice(), gp_fresh[1].as_slice());
     }
 }

@@ -59,15 +59,19 @@ impl Dense {
     }
 
     /// View the input as a rank-2 `[rows, in_dim]` tensor.
+    ///
+    /// The *last* axis must equal `in_dim`: checking only divisibility of
+    /// the total length silently accepted inputs like `[2, 8]` into a
+    /// 4-wide layer, reinterpreting them as `[4, 4]`.
     fn as_rows(&self, x: &Tensor) -> Tensor {
-        let rows = x.len() / self.in_dim;
         assert_eq!(
-            rows * self.in_dim,
-            x.len(),
-            "Dense: input {:?} not divisible by in_dim {}",
+            x.shape().last().copied(),
+            Some(self.in_dim),
+            "Dense: input {:?} must end in in_dim {}",
             x.shape(),
             self.in_dim
         );
+        let rows = x.len() / self.in_dim;
         x.clone().reshape(vec![rows, self.in_dim])
     }
 }
@@ -81,12 +85,7 @@ impl Layer for Dense {
         let orig_shape = x.shape().to_vec();
         let x2 = self.as_rows(x);
         let mut y = x2.matmul(&self.weight);
-        let rows = y.shape()[0];
-        for i in 0..rows {
-            for (o, &b) in y.row_mut(i).iter_mut().zip(self.bias.as_slice()) {
-                *o += b;
-            }
-        }
+        y.add_row_broadcast(&self.bias);
         // Preserve a leading batch structure: [..., in] -> [..., out]
         let mut out_shape = orig_shape;
         *out_shape.last_mut().expect("non-scalar input") = self.out_dim;
@@ -150,6 +149,16 @@ mod tests {
         assert_eq!(gx.shape(), x.shape());
         assert_eq!(gp[0].shape(), &[4, 3]);
         assert_eq!(gp[1].shape(), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must end in in_dim")]
+    fn rejects_input_whose_last_axis_is_not_in_dim() {
+        // [2, 8] has 16 elements — divisible by in_dim=4 — but its feature
+        // axis is 8; the old divisibility check silently accepted this.
+        let layer = Dense::new(Tensor::zeros(&[4, 3]), Tensor::zeros(&[3]));
+        let x = Tensor::zeros(&[2, 8]);
+        let _ = layer.forward(&x, false);
     }
 
     #[test]

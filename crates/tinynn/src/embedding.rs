@@ -63,7 +63,7 @@ impl Layer for Embedding {
         let mut out = Vec::with_capacity(n * self.dim);
         for &v in x.as_slice() {
             let id = self.token(v);
-            out.extend_from_slice(&self.table.as_slice()[id * self.dim..(id + 1) * self.dim]);
+            out.extend_from_slice(self.table.row(id));
         }
         let mut shape = x.shape().to_vec();
         shape.push(self.dim);
@@ -72,12 +72,10 @@ impl Layer for Embedding {
 
     fn backward(&self, x: &Tensor, _cache: &Cache, grad_out: &Tensor) -> (Tensor, Vec<Tensor>) {
         let mut grad_table = Tensor::zeros(self.table.shape());
-        let gt = grad_table.as_mut_slice();
         for (i, &v) in x.as_slice().iter().enumerate() {
             let id = self.token(v);
             let g = &grad_out.as_slice()[i * self.dim..(i + 1) * self.dim];
-            let row = &mut gt[id * self.dim..(id + 1) * self.dim];
-            for (a, &b) in row.iter_mut().zip(g) {
+            for (a, &b) in grad_table.row_mut(id).iter_mut().zip(g) {
                 *a += b;
             }
         }

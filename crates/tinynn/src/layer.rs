@@ -33,6 +33,12 @@ impl Cache {
             .downcast_ref::<T>()
             .expect("layer cache downcast to wrong type")
     }
+
+    /// Downcast if the cache holds a `T`, `None` otherwise (e.g. a layer
+    /// whose inference-mode forward stored [`Cache::none`]).
+    pub fn try_get<T: Any>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
+    }
 }
 
 /// A differentiable network layer.

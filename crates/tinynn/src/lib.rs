@@ -43,6 +43,7 @@ pub mod conv;
 pub mod dense;
 pub mod dropout;
 pub mod embedding;
+pub mod gemm;
 pub mod gradcheck;
 pub mod init;
 pub mod layer;

@@ -111,11 +111,7 @@ impl Layer for Lstm {
             let x_t = Self::step_slice(x, step, self.in_dim);
             let mut z = x_t.matmul(&self.w_ih);
             z.add_assign(&h_prev.matmul(&self.w_hh));
-            for bi in 0..b {
-                for (zv, &bv) in z.row_mut(bi).iter_mut().zip(self.bias.as_slice()) {
-                    *zv += bv;
-                }
-            }
+            z.add_row_broadcast(&self.bias);
             let mut gates = z;
             let mut c_t = Tensor::zeros(&[b, h]);
             let mut h_t = Tensor::zeros(&[b, h]);

@@ -147,20 +147,33 @@ impl Sequential {
         (loss_value, self.backward(&tape, grad))
     }
 
-    /// Data-parallel version of [`Self::loss_and_grads`]: the batch is split
-    /// into `chunks` contiguous pieces which run forward+backward
-    /// concurrently; gradients are averaged with per-chunk weights
-    /// proportional to chunk size, which reproduces the serial result up to
-    /// floating-point re-association.
-    pub fn loss_and_grads_parallel(
+    /// Chunked version of [`Self::loss_and_grads`]: the batch is split into
+    /// `chunks` contiguous ranges — a pure function of the batch size and
+    /// `chunks`, never of thread count — each range runs forward+backward
+    /// into its own per-worker gradient buffer scaled by `n_chunk / b`, and
+    /// the buffers are combined by a fixed-order pairwise tree reduction.
+    ///
+    /// `parallel` selects the execution strategy *only*: the ranges, the
+    /// per-chunk arithmetic, and the reduction order are identical either
+    /// way, so the parallel result is **bit-identical** to the serial one by
+    /// construction. (The one exception is [`crate::Dropout`], whose mask
+    /// seeds come from a process-global counter and therefore depend on
+    /// chunk execution order; no model in [`crate::zoo`] uses dropout.)
+    ///
+    /// Relative to the unchunked path, chunking re-associates the gradient
+    /// average (weighted per-chunk means instead of one batch mean), so
+    /// results agree with [`Self::loss_and_grads`] only to float tolerance —
+    /// pick `chunks` once per deployment and keep it.
+    pub fn loss_and_grads_chunked(
         &self,
         x: &Tensor,
         targets: &[u32],
         chunks: usize,
+        parallel: bool,
     ) -> (f32, Gradients) {
         let b = x.shape()[0];
         let chunks = chunks.clamp(1, b.max(1));
-        if chunks <= 1 || b <= 1 {
+        if chunks <= 1 {
             return self.loss_and_grads(x, targets);
         }
         let rows_per_sample = targets.len() / b;
@@ -174,24 +187,47 @@ impl Sequential {
             .step_by(step)
             .map(|s| (s, (s + step).min(b)))
             .collect();
-        let results: Vec<(usize, f32, Gradients)> = ranges
-            .par_iter()
-            .map(|&(s, e)| {
-                let xc = x.slice_batch(s, e);
-                let tc = &targets[s * rows_per_sample..e * rows_per_sample];
-                let (l, g) = self.loss_and_grads(&xc, tc);
-                (e - s, l, g)
-            })
-            .collect();
-        let mut total = Gradients::zeros_like(self);
-        let mut loss_acc = 0.0f32;
-        for (n, l, mut g) in results {
-            let w = n as f32 / b as f32;
+        let work = |&(s, e): &(usize, usize)| -> (f32, Gradients) {
+            let xc = x.slice_batch(s, e);
+            let tc = &targets[s * rows_per_sample..e * rows_per_sample];
+            let (l, mut g) = self.loss_and_grads(&xc, tc);
+            let w = (e - s) as f32 / b as f32;
             g.scale(w);
-            total.add_assign(&g);
-            loss_acc += l * w;
+            (l * w, g)
+        };
+        let mut results: Vec<(f32, Gradients)> = if parallel {
+            ranges.par_iter().map(work).collect()
+        } else {
+            ranges.iter().map(work).collect()
+        };
+        // Fixed-order pairwise tree reduction: association depends only on
+        // the chunk count, not on which thread finished first.
+        while results.len() > 1 {
+            let mut next = Vec::with_capacity(results.len().div_ceil(2));
+            let mut it = results.into_iter();
+            while let Some((l1, mut g1)) = it.next() {
+                match it.next() {
+                    Some((l2, g2)) => {
+                        g1.add_assign(&g2);
+                        next.push((l1 + l2, g1));
+                    }
+                    None => next.push((l1, g1)),
+                }
+            }
+            results = next;
         }
-        (loss_acc, total)
+        results.pop().expect("at least one chunk")
+    }
+
+    /// Data-parallel [`Self::loss_and_grads`]:
+    /// [`Self::loss_and_grads_chunked`] with parallel execution.
+    pub fn loss_and_grads_parallel(
+        &self,
+        x: &Tensor,
+        targets: &[u32],
+        chunks: usize,
+    ) -> (f32, Gradients) {
+        self.loss_and_grads_chunked(x, targets, chunks, true)
     }
 
     /// Inference-mode loss and accuracy on a labelled batch.
@@ -261,6 +297,52 @@ mod tests {
             for (va, vb) in a.as_slice().iter().zip(b.as_slice()) {
                 assert!((va - vb).abs() < 1e-5, "{va} vs {vb}");
             }
+        }
+    }
+
+    fn assert_bitwise_equal(a: &(f32, Gradients), b: &(f32, Gradients)) {
+        assert_eq!(
+            a.0.to_bits(),
+            b.0.to_bits(),
+            "losses differ: {} vs {}",
+            a.0,
+            b.0
+        );
+        for (ga, gb) in
+            a.1.by_layer
+                .iter()
+                .flatten()
+                .zip(b.1.by_layer.iter().flatten())
+        {
+            assert_eq!(ga.shape(), gb.shape());
+            for (va, vb) in ga.as_slice().iter().zip(gb.as_slice()) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "{va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_parallel_bitwise_equals_chunked_serial_mlp() {
+        let m = tiny_model(7);
+        let x = Tensor::from_fn(&[16, 4], |i| ((i * 13 % 29) as f32 - 14.0) * 0.07);
+        let t: Vec<u32> = (0..16).map(|i| (i % 3) as u32).collect();
+        for chunks in 2..=5 {
+            let serial = m.loss_and_grads_chunked(&x, &t, chunks, false);
+            let parallel = m.loss_and_grads_chunked(&x, &t, chunks, true);
+            assert_bitwise_equal(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn chunked_parallel_bitwise_equals_chunked_serial_cnn() {
+        let mut rng = seeded(11);
+        let m = crate::zoo::femnist_cnn(8, 5, crate::zoo::CnnConfig::scaled(), &mut rng);
+        let x = Tensor::from_fn(&[8, 1, 8, 8], |i| ((i * 7 % 19) as f32 - 9.0) * 0.05);
+        let t: Vec<u32> = (0..8).map(|i| (i % 5) as u32).collect();
+        for chunks in [2, 3, 4] {
+            let serial = m.loss_and_grads_chunked(&x, &t, chunks, false);
+            let parallel = m.loss_and_grads_chunked(&x, &t, chunks, true);
+            assert_bitwise_equal(&serial, &parallel);
         }
     }
 

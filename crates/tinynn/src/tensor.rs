@@ -2,7 +2,6 @@
 //! needs: elementwise arithmetic, GEMM (including the transposed variants
 //! used by backpropagation), and shape bookkeeping.
 
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Product of a shape's dimensions (the number of elements).
@@ -190,89 +189,65 @@ impl Tensor {
 
     /// Matrix product `self [M,K] × other [K,N] -> [M,N]`.
     ///
-    /// Uses an i-k-j loop order for streaming access and parallelizes over
-    /// output rows once the work is large enough to amortize the fork.
+    /// All three matmul variants run through the blocked/packed kernel in
+    /// [`crate::gemm`], which parallelizes over disjoint output row blocks
+    /// above [`crate::gemm::PAR_GEMM_THRESHOLD`] multiply-adds and is
+    /// bit-identical to the naive k-ascending loop at any thread count.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul expects a rank-2 left operand");
+        assert_eq!(other.rank(), 2, "matmul expects a rank-2 right operand");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        let gemm_row = |i: usize, out_row: &mut [f32]| {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        };
-        if m * k * n >= PAR_GEMM_THRESHOLD {
-            out.par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, row)| gemm_row(i, row));
-        } else {
-            for (i, row) in out.chunks_mut(n).enumerate() {
-                gemm_row(i, row);
-            }
-        }
+        crate::gemm::gemm(m, n, k, &self.data, false, &other.data, false, &mut out);
         Tensor::from_vec(vec![m, n], out)
     }
 
     /// Matrix product with the right operand transposed:
     /// `self [M,K] × otherᵀ, other [N,K] -> [M,N]`.
     pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_bt expects a rank-2 left operand");
+        assert_eq!(other.rank(), 2, "matmul_bt expects a rank-2 right operand");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_bt inner dimension mismatch: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        let gemm_row = |i: usize, out_row: &mut [f32]| {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        };
-        if m * k * n >= PAR_GEMM_THRESHOLD {
-            out.par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, row)| gemm_row(i, row));
-        } else {
-            for (i, row) in out.chunks_mut(n).enumerate() {
-                gemm_row(i, row);
-            }
-        }
+        crate::gemm::gemm(m, n, k, &self.data, false, &other.data, true, &mut out);
         Tensor::from_vec(vec![m, n], out)
     }
 
     /// Matrix product with the left operand transposed:
     /// `selfᵀ, self [K,M] × other [K,N] -> [M,N]`.
     pub fn matmul_at(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_at expects a rank-2 left operand");
+        assert_eq!(other.rank(), 2, "matmul_at expects a rank-2 right operand");
         let (k, m) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_at inner dimension mismatch: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        // outᵀ accumulation: iterate over k, rank-1 update out += a_kᵀ b_k.
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &other.data[kk * n..(kk + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+        crate::gemm::gemm(m, n, k, &self.data, true, &other.data, false, &mut out);
+        Tensor::from_vec(vec![m, n], out)
+    }
+
+    /// Add a rank-1 `[N]` bias to every row of a rank-2 `[M,N]` tensor —
+    /// the shared broadcast behind every affine layer's `+ b`.
+    pub fn add_row_broadcast(&mut self, bias: &Tensor) {
+        assert_eq!(self.rank(), 2, "add_row_broadcast expects a rank-2 tensor");
+        assert_eq!(
+            bias.shape(),
+            &[self.shape[1]],
+            "bias shape {:?} does not broadcast over rows of {:?}",
+            bias.shape(),
+            self.shape
+        );
+        let n = self.shape[1];
+        let bs = &bias.data;
+        for row in self.data.chunks_mut(n) {
+            for (o, &b) in row.iter_mut().zip(bs) {
+                *o += b;
             }
         }
-        Tensor::from_vec(vec![m, n], out)
     }
 
     /// Copy rows `start..end` along the first (batch) axis.
@@ -314,10 +289,6 @@ impl Tensor {
         Tensor::from_vec(vec![n], out)
     }
 }
-
-/// Below this many multiply-adds a GEMM runs serially; above, rows are
-/// distributed over the rayon pool.
-const PAR_GEMM_THRESHOLD: usize = 64 * 64 * 64;
 
 #[cfg(test)]
 mod tests {
@@ -387,7 +358,7 @@ mod tests {
 
     #[test]
     fn large_matmul_parallel_matches_serial_semantics() {
-        // Exceed PAR_GEMM_THRESHOLD to exercise the parallel path.
+        // Exceed gemm::PAR_GEMM_THRESHOLD to exercise the parallel path.
         let m = 80;
         let k = 70;
         let n = 60;

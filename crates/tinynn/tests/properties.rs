@@ -1,7 +1,7 @@
 //! Property-based tests of the tensor/parameter machinery.
 
 use proptest::prelude::*;
-use tinynn::{ParamVec, Tensor};
+use tinynn::{gemm, ParamVec, Tensor};
 
 /// Random rank-2 tensor strategy: dims in 1..=8, finite values.
 fn mat(max: usize) -> impl Strategy<Value = Tensor> {
@@ -11,8 +11,117 @@ fn mat(max: usize) -> impl Strategy<Value = Tensor> {
     })
 }
 
+/// GEMM shape strategy biased toward block-boundary pathologies: each dim
+/// drawn from hostile values (1, primes, exact block multiples, ±1 around
+/// them) as well as a uniform range — so packed-edge handling, tall/skinny
+/// and single-element cases are all hit every run.
+fn gemm_dim() -> impl Strategy<Value = usize> {
+    (0usize..11, 1usize..=80).prop_map(|(pick, uniform)| {
+        const HOSTILE: [usize; 10] = [1, 2, 3, 5, 7, 13, 31, 63, 64, 65];
+        if pick < HOSTILE.len() {
+            HOSTILE[pick]
+        } else {
+            uniform
+        }
+    })
+}
+
+fn gemm_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (gemm_dim(), gemm_dim(), gemm_dim())
+}
+
+/// Assert two GEMM outputs agree to ≤1 ulp per element (they are expected
+/// to be bit-identical; the ulp slack documents the contract without
+/// over-pinning).
+fn assert_ulp_close(got: &[f32], want: &[f32]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let ulp = (g.to_bits() as i64 - w.to_bits() as i64).abs();
+        prop_assert!(
+            g == w || ulp <= 1,
+            "element {i}: {g} vs {w} ({ulp} ulps apart)"
+        );
+    }
+    Ok(())
+}
+
+/// Blocked GEMM with no transposes: `gemm` output must match the retained
+/// naive reference bit-for-bit on hostile shapes.
+#[test]
+fn gemm_empty_and_degenerate_shapes_no_panic() {
+    // (m, n, k) with zeros and singletons: must not panic, must agree with
+    // the reference (k = 0 means every output is exactly +0.0).
+    for &(m, n, k) in &[
+        (0usize, 0usize, 0usize),
+        (0, 5, 3),
+        (5, 0, 3),
+        (5, 3, 0),
+        (1, 1, 1),
+        (1, 64, 1),
+        (64, 1, 256),
+    ] {
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.53).cos()).collect();
+        let mut got = vec![f32::NAN; m * n];
+        let mut want = vec![f32::NAN; m * n];
+        gemm::gemm(m, n, k, &a, false, &b, false, &mut got);
+        gemm::reference::matmul(m, n, k, &a, false, &b, false, &mut want);
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "shape ({m},{n},{k})"
+        );
+        if k == 0 && m * n > 0 {
+            assert!(got.iter().all(|v| v.to_bits() == 0), "k=0 must zero-fill");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked/packed GEMM agrees with the naive reference on all three
+    /// used transpose variants (plus both-transposed, reachable through the
+    /// public API), across block-boundary shapes. Exact bitwise agreement
+    /// is the design goal; ≤1 ulp is the asserted contract.
+    #[test]
+    fn gemm_blocked_matches_naive_reference(
+        dims in gemm_dims(),
+        seed in any::<u64>(),
+    ) {
+        let (m, n, k) = dims;
+        let mut rng = tinynn::rng::seeded(seed);
+        use rand::RngExt as _;
+        let a: Vec<f32> = (0..m * k).map(|_| rng.random_range(-3.0f32..3.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.random_range(-3.0f32..3.0)).collect();
+        for &(ta, tb) in &[(false, false), (false, true), (true, false), (true, true)] {
+            let mut got = vec![0.0f32; m * n];
+            let mut want = vec![0.0f32; m * n];
+            gemm::gemm(m, n, k, &a, ta, &b, tb, &mut got);
+            gemm::reference::matmul(m, n, k, &a, ta, &b, tb, &mut want);
+            assert_ulp_close(&got, &want)?;
+        }
+    }
+
+    /// The accumulating entry point chains onto pre-filled output exactly
+    /// like the naive accumulating reference.
+    #[test]
+    fn gemm_accum_matches_naive_reference(
+        dims in gemm_dims(),
+        seed in any::<u64>(),
+    ) {
+        let (m, n, k) = dims;
+        let mut rng = tinynn::rng::seeded(seed);
+        use rand::RngExt as _;
+        let a: Vec<f32> = (0..m * k).map(|_| rng.random_range(-3.0f32..3.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.random_range(-3.0f32..3.0)).collect();
+        let init: Vec<f32> = (0..m * n).map(|_| rng.random_range(-3.0f32..3.0)).collect();
+        let mut got = init.clone();
+        let mut want = init;
+        gemm::gemm_accum(m, n, k, &a, false, &b, false, &mut got);
+        gemm::reference::matmul_accum(m, n, k, &a, false, &b, false, &mut want);
+        assert_ulp_close(&got, &want)?;
+    }
 
     /// (A·B)·C == A·(B·C) up to f32 noise, on compatible shapes.
     #[test]

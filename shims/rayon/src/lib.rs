@@ -1,11 +1,33 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, backed by a real thread pool.
 //!
 //! Presents the `par_iter`/`into_par_iter`/`par_chunks_mut`/`join` API the
-//! workspace uses, executed **sequentially**. Every call site already
-//! derives per-item RNG seeds, so sequential execution produces the exact
-//! same results a parallel pool would — it is simply not parallel. This
-//! keeps the simulators bit-deterministic (a property the replay tests
-//! assert) until a real work-stealing pool can be vendored.
+//! workspace uses. Unlike the original sequential shim, the order-preserving
+//! terminals (`for_each`, `collect`, and the map stage feeding `reduce`) now
+//! execute items on a persistent pool of worker threads, so data-parallel
+//! call sites actually scale with cores.
+//!
+//! Determinism is preserved by construction rather than by being sequential:
+//!
+//! - `for_each` runs each item's closure exactly once on some thread; call
+//!   sites only write through disjoint `par_chunks_mut` borrows, so the
+//!   result is independent of scheduling.
+//! - `collect` writes each item's result into its own output slot, so the
+//!   collected order always matches the input order.
+//! - `reduce` maps items in parallel but folds the results **sequentially in
+//!   input order** from a fresh identity — stronger than rayon's
+//!   association-unspecified reduce, and required here because several call
+//!   sites fold floating-point values.
+//! - `sum`/`count`/`filter` and `join` remain sequential; no hot path relies
+//!   on them for throughput.
+//!
+//! Nested parallel regions run sequentially on the worker that encounters
+//! them (a thread-local guard), and concurrent top-level regions from other
+//! threads fall back to sequential execution instead of queueing, so the
+//! pool can never deadlock. Worker count defaults to
+//! `available_parallelism() - 1` (the caller participates) and can be pinned
+//! with `RAYON_NUM_THREADS`.
+
+use std::cell::UnsafeCell;
 
 pub mod prelude {
     pub use super::{
@@ -14,84 +36,402 @@ pub mod prelude {
     };
 }
 
-/// Sequential adapter standing in for rayon's parallel iterators.
-pub struct ParallelIterator<I>(I);
+mod pool {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-impl<I: Iterator> ParallelIterator<I> {
+    /// One parallel dispatch: `task(i)` processes item `i` for `i < n`.
+    ///
+    /// The task pointer is lifetime-erased; soundness rests on the caller in
+    /// [`run`] blocking until `done == n`, so the pointee outlives every call.
+    struct Region {
+        task: *const (dyn Fn(usize) + Sync),
+        n: usize,
+        next: AtomicUsize,
+        done: Mutex<usize>,
+        done_cv: Condvar,
+        panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    }
+
+    unsafe impl Send for Region {}
+    unsafe impl Sync for Region {}
+
+    struct Pool {
+        /// At most one active region; publishers that find it occupied run
+        /// their items sequentially instead of queueing.
+        slot: Mutex<Option<Arc<Region>>>,
+        work_cv: Condvar,
+        workers: usize,
+    }
+
+    thread_local! {
+        static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    }
+
+    fn thread_count() -> usize {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<&'static Pool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let pool: &'static Pool = Box::leak(Box::new(Pool {
+                slot: Mutex::new(None),
+                work_cv: Condvar::new(),
+                workers: thread_count().saturating_sub(1),
+            }));
+            for w in 0..pool.workers {
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{w}"))
+                    .spawn(move || worker_loop(pool))
+                    .expect("failed to spawn shim pool worker");
+            }
+            pool
+        })
+    }
+
+    fn worker_loop(pool: &'static Pool) {
+        IN_WORKER.with(|f| f.set(true));
+        loop {
+            let region = {
+                let mut slot = pool.slot.lock().unwrap();
+                loop {
+                    if let Some(r) = slot.as_ref() {
+                        if r.next.load(Ordering::Relaxed) < r.n {
+                            break r.clone();
+                        }
+                    }
+                    slot = pool.work_cv.wait(slot).unwrap();
+                }
+            };
+            drain(&region);
+        }
+    }
+
+    /// Claim and run items until the region is exhausted. Completion is
+    /// counted even when an item panics, so the publishing caller can never
+    /// deadlock; the first payload is re-thrown on the caller thread.
+    fn drain(region: &Region) {
+        loop {
+            let i = region.next.fetch_add(1, Ordering::Relaxed);
+            if i >= region.n {
+                return;
+            }
+            let task = unsafe { &*region.task };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+                let mut slot = region.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            let mut done = region.done.lock().unwrap();
+            *done += 1;
+            if *done == region.n {
+                region.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Run `task(0..n)` across the pool, blocking until every item is done.
+    /// Falls back to in-place sequential execution when the pool is
+    /// unavailable (single core), already busy, or we are on a worker.
+    pub fn run(n: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        if n == 1 || IN_WORKER.with(|f| f.get()) {
+            for i in 0..n {
+                task(i);
+            }
+            return;
+        }
+        let pool = global();
+        if pool.workers == 0 {
+            for i in 0..n {
+                task(i);
+            }
+            return;
+        }
+        // Erase the borrow's lifetime; the wait on `done == n` below keeps
+        // `task` alive for every call a worker can make through the pointer.
+        let task_static: &(dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        };
+        let region = Arc::new(Region {
+            task: task_static as *const (dyn Fn(usize) + Sync),
+            n,
+            next: AtomicUsize::new(0),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut slot = pool.slot.lock().unwrap();
+            if slot.is_some() {
+                drop(slot);
+                for i in 0..n {
+                    task(i);
+                }
+                return;
+            }
+            *slot = Some(region.clone());
+            pool.work_cv.notify_all();
+        }
+        drain(&region);
+        let mut done = region.done.lock().unwrap();
+        while *done < region.n {
+            done = region.done_cv.wait(done).unwrap();
+        }
+        drop(done);
+        *pool.slot.lock().unwrap() = None;
+        let payload = region.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Per-index once-only storage shared across the pool. Sound because every
+/// index is claimed by exactly one worker (the atomic counter in the pool),
+/// so each slot sees a single writer and no concurrent reader.
+struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
+
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn filled(items: Vec<T>) -> Self {
+        Slots(
+            items
+                .into_iter()
+                .map(|x| UnsafeCell::new(Some(x)))
+                .collect(),
+        )
+    }
+
+    fn empty(n: usize) -> Self {
+        Slots((0..n).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// Move the value out of slot `i`. Each index may be taken at most once
+    /// per parallel region.
+    fn take(&self, i: usize) -> Option<T> {
+        unsafe { (*self.0[i].get()).take() }
+    }
+
+    /// Store into slot `i`. Each index may be written at most once per
+    /// parallel region.
+    fn put(&self, i: usize, value: T) {
+        unsafe { *self.0[i].get() = Some(value) }
+    }
+
+    fn into_vec(self) -> Vec<T> {
+        self.0
+            .into_iter()
+            .map(|c| c.into_inner().expect("parallel region left an empty slot"))
+            .collect()
+    }
+}
+
+/// Apply `f` to every item on the pool. Item order of side effects is
+/// unspecified; call sites must only touch disjoint state per item.
+fn par_apply<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let n = items.len();
+    let slots = Slots::filled(items);
+    pool::run(n, &|i| {
+        if let Some(item) = slots.take(i) {
+            f(item);
+        }
+    });
+}
+
+/// Map every item on the pool, preserving input order in the output.
+fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let input = Slots::filled(items);
+    let output = Slots::empty(n);
+    pool::run(n, &|i| {
+        if let Some(item) = input.take(i) {
+            output.put(i, f(item));
+        }
+    });
+    output.into_vec()
+}
+
+fn identity<T>(x: T) -> T {
+    x
+}
+
+// Dedicated identities for the slice entry points: a plain `identity::<&mut
+// [T]>` fn item pins one lifetime, but the trait signatures below need the
+// higher-ranked `for<'a> fn(&'a mut [T]) -> &'a mut [T]` pointer type.
+fn identity_slice<T>(x: &[T]) -> &[T] {
+    x
+}
+
+fn identity_slice_mut<T>(x: &mut [T]) -> &mut [T] {
+    x
+}
+
+fn identity_ref<T>(x: &T) -> &T {
+    x
+}
+
+/// Parallel pipeline: a lazily composed per-item op over a base iterator.
+/// Terminals materialize the base items and dispatch the op on the pool.
+pub struct ParallelIterator<I, F> {
+    base: I,
+    op: F,
+}
+
+impl<I: Iterator, F> ParallelIterator<I, F> {
     /// Map each item.
-    pub fn map<F, R>(self, f: F) -> ParallelIterator<std::iter::Map<I, F>>
+    pub fn map<R, G, R2>(self, g: G) -> ParallelIterator<I, impl Fn(I::Item) -> R2>
     where
-        F: FnMut(I::Item) -> R,
+        F: Fn(I::Item) -> R,
+        G: Fn(R) -> R2,
     {
-        ParallelIterator(self.0.map(f))
+        let op = self.op;
+        ParallelIterator {
+            base: self.base,
+            op: move |x| g(op(x)),
+        }
     }
 
     /// Pair each item with its index.
-    pub fn enumerate(self) -> ParallelIterator<std::iter::Enumerate<I>> {
-        ParallelIterator(self.0.enumerate())
+    #[allow(clippy::type_complexity)]
+    pub fn enumerate<R>(
+        self,
+    ) -> ParallelIterator<std::iter::Enumerate<I>, impl Fn((usize, I::Item)) -> (usize, R)>
+    where
+        F: Fn(I::Item) -> R,
+    {
+        let op = self.op;
+        ParallelIterator {
+            base: self.base.enumerate(),
+            op: move |(i, x)| (i, op(x)),
+        }
     }
 
     /// Zip with another parallel iterator.
-    pub fn zip<J>(self, other: ParallelIterator<J>) -> ParallelIterator<std::iter::Zip<I, J>>
+    #[allow(clippy::type_complexity)]
+    pub fn zip<J, G, R, R2>(
+        self,
+        other: ParallelIterator<J, G>,
+    ) -> ParallelIterator<std::iter::Zip<I, J>, impl Fn((I::Item, J::Item)) -> (R, R2)>
     where
         J: Iterator,
+        F: Fn(I::Item) -> R,
+        G: Fn(J::Item) -> R2,
     {
-        ParallelIterator(self.0.zip(other.0))
+        let op = self.op;
+        let other_op = other.op;
+        ParallelIterator {
+            base: self.base.zip(other.base),
+            op: move |(x, y)| (op(x), other_op(y)),
+        }
     }
 
-    /// Filter items.
-    pub fn filter<F>(self, f: F) -> ParallelIterator<std::iter::Filter<I, F>>
+    /// Filter items (evaluated sequentially; filtering is not on a hot path).
+    #[allow(clippy::type_complexity)]
+    pub fn filter<R, P>(self, mut p: P) -> ParallelIterator<std::vec::IntoIter<R>, fn(R) -> R>
     where
-        F: FnMut(&I::Item) -> bool,
+        F: Fn(I::Item) -> R,
+        P: FnMut(&R) -> bool,
     {
-        ParallelIterator(self.0.filter(f))
+        let op = self.op;
+        let mut kept = Vec::new();
+        for x in self.base {
+            let r = op(x);
+            if p(&r) {
+                kept.push(r);
+            }
+        }
+        ParallelIterator {
+            base: kept.into_iter(),
+            op: identity as fn(R) -> R,
+        }
     }
 
-    /// Consume every item.
-    pub fn for_each<F>(self, f: F)
+    /// Consume every item, running items on the pool. Side-effect order is
+    /// unspecified, as with real rayon.
+    pub fn for_each<R, G>(self, g: G)
     where
-        F: FnMut(I::Item),
+        I::Item: Send,
+        F: Fn(I::Item) -> R + Sync,
+        G: Fn(R) + Sync,
     {
-        self.0.for_each(f)
+        let op = self.op;
+        let items: Vec<I::Item> = self.base.collect();
+        par_apply(items, |x| g(op(x)));
     }
 
-    /// Collect into any `FromIterator` container.
-    pub fn collect<C>(self) -> C
+    /// Collect into any `FromIterator` container, preserving input order.
+    pub fn collect<R, C>(self) -> C
     where
-        C: FromIterator<I::Item>,
+        I::Item: Send,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+        C: FromIterator<R>,
     {
-        self.0.collect()
+        let items: Vec<I::Item> = self.base.collect();
+        par_map(items, self.op).into_iter().collect()
     }
 
-    /// Rayon-style reduce: fold from a fresh identity.
+    /// Rayon-style reduce: items are mapped on the pool, then folded
+    /// **sequentially in input order** from a fresh identity, so the result
+    /// is deterministic even for non-associative (floating-point) ops.
     pub fn reduce<T, ID, OP>(self, identity: ID, op: OP) -> T
     where
-        I: Iterator<Item = T>,
+        I::Item: Send,
+        T: Send,
+        F: Fn(I::Item) -> T + Sync,
         ID: Fn() -> T,
         OP: Fn(T, T) -> T,
     {
-        self.0.fold(identity(), op)
+        let items: Vec<I::Item> = self.base.collect();
+        par_map(items, self.op).into_iter().fold(identity(), op)
     }
 
-    /// Sum the items.
-    pub fn sum<S>(self) -> S
+    /// Sum the items (sequential, in input order).
+    pub fn sum<R, S>(self) -> S
     where
-        S: std::iter::Sum<I::Item>,
+        F: Fn(I::Item) -> R,
+        S: std::iter::Sum<R>,
     {
-        self.0.sum()
+        let op = self.op;
+        self.base.map(op).sum()
     }
 
     /// Number of items.
     pub fn count(self) -> usize {
-        self.0.count()
+        self.base.count()
     }
 }
 
 /// `into_par_iter` for owned collections and ranges.
 pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Convert into a (sequential) parallel iterator.
-    fn into_par_iter(self) -> ParallelIterator<Self::IntoIter> {
-        ParallelIterator(self.into_iter())
+    /// Convert into a parallel pipeline.
+    #[allow(clippy::type_complexity)]
+    fn into_par_iter(self) -> ParallelIterator<Self::IntoIter, fn(Self::Item) -> Self::Item> {
+        ParallelIterator {
+            base: self.into_iter(),
+            op: identity,
+        }
     }
 }
 
@@ -104,50 +444,77 @@ pub trait IntoParallelRefIterator<'a> {
     /// The underlying iterator type.
     type Iter: Iterator<Item = Self::Item>;
     /// Iterate by reference.
-    fn par_iter(&'a self) -> ParallelIterator<Self::Iter>;
+    #[allow(clippy::type_complexity)]
+    fn par_iter(&'a self) -> ParallelIterator<Self::Iter, fn(Self::Item) -> Self::Item>;
 }
 
 impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
     type Iter = std::slice::Iter<'a, T>;
-    fn par_iter(&'a self) -> ParallelIterator<Self::Iter> {
-        ParallelIterator(self.iter())
+    fn par_iter(&'a self) -> ParallelIterator<Self::Iter, fn(&'a T) -> &'a T> {
+        ParallelIterator {
+            base: self.iter(),
+            op: identity_ref,
+        }
     }
 }
 
 impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
     type Iter = std::slice::Iter<'a, T>;
-    fn par_iter(&'a self) -> ParallelIterator<Self::Iter> {
-        ParallelIterator(self.iter())
+    fn par_iter(&'a self) -> ParallelIterator<Self::Iter, fn(&'a T) -> &'a T> {
+        ParallelIterator {
+            base: self.iter(),
+            op: identity_ref,
+        }
     }
 }
 
 /// `par_chunks` for shared slices.
 pub trait ParallelSliceExt<T> {
     /// Chunked shared iteration.
-    fn par_chunks(&self, size: usize) -> ParallelIterator<std::slice::Chunks<'_, T>>;
+    #[allow(clippy::type_complexity)]
+    fn par_chunks(
+        &self,
+        size: usize,
+    ) -> ParallelIterator<std::slice::Chunks<'_, T>, fn(&[T]) -> &[T]>;
 }
 
 impl<T> ParallelSliceExt<T> for [T] {
-    fn par_chunks(&self, size: usize) -> ParallelIterator<std::slice::Chunks<'_, T>> {
-        ParallelIterator(self.chunks(size))
+    fn par_chunks(
+        &self,
+        size: usize,
+    ) -> ParallelIterator<std::slice::Chunks<'_, T>, fn(&[T]) -> &[T]> {
+        ParallelIterator {
+            base: self.chunks(size),
+            op: identity_slice,
+        }
     }
 }
 
 /// `par_chunks_mut` for mutable slices.
 pub trait ParallelSliceMutExt<T> {
     /// Chunked mutable iteration.
-    fn par_chunks_mut(&mut self, size: usize) -> ParallelIterator<std::slice::ChunksMut<'_, T>>;
+    #[allow(clippy::type_complexity)]
+    fn par_chunks_mut(
+        &mut self,
+        size: usize,
+    ) -> ParallelIterator<std::slice::ChunksMut<'_, T>, fn(&mut [T]) -> &mut [T]>;
 }
 
 impl<T> ParallelSliceMutExt<T> for [T] {
-    fn par_chunks_mut(&mut self, size: usize) -> ParallelIterator<std::slice::ChunksMut<'_, T>> {
-        ParallelIterator(self.chunks_mut(size))
+    fn par_chunks_mut(
+        &mut self,
+        size: usize,
+    ) -> ParallelIterator<std::slice::ChunksMut<'_, T>, fn(&mut [T]) -> &mut [T]> {
+        ParallelIterator {
+            base: self.chunks_mut(size),
+            op: identity_slice_mut,
+        }
     }
 }
 
-/// Run both closures (sequentially here) and return both results.
+/// Run both closures (sequentially) and return both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA,
@@ -159,6 +526,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_matches_serial() {
@@ -200,5 +568,65 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
         assert_eq!(a, 2);
         assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn collect_preserves_input_order_at_scale() {
+        let out: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(out.len(), 10_000);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * 3);
+        }
+    }
+
+    #[test]
+    fn for_each_runs_every_item_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..1_000).map(|_| AtomicUsize::new(0)).collect();
+        (0..1_000usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_regions_complete() {
+        let out: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..8usize).into_par_iter().map(|j| i * 8 + j).collect();
+                inner.iter().sum()
+            })
+            .collect();
+        for (i, &v) in out.iter().enumerate() {
+            let expect: usize = (0..8).map(|j| i * 8 + j).sum();
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn filter_then_collect() {
+        let odds: Vec<u32> = (0..10u32).into_par_iter().filter(|x| x % 2 == 1).collect();
+        assert_eq!(odds, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn reduce_is_input_order_deterministic() {
+        // A deliberately non-associative op: fold order must be input order.
+        let folded = (1..=6u64)
+            .into_par_iter()
+            .map(|i| i as f64)
+            .reduce(|| 0.0f64, |a, b| a * 2.0 + b);
+        let expect = (1..=6).fold(0.0f64, |a, b| a * 2.0 + b as f64);
+        assert_eq!(folded.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom from worker item")]
+    fn panics_propagate_to_caller() {
+        (0..64usize).into_par_iter().for_each(|i| {
+            if i == 13 {
+                panic!("boom from worker item");
+            }
+        });
     }
 }

@@ -31,6 +31,8 @@ fn quick_cfg(nodes: usize, seed: u64) -> SimConfig {
         nodes_per_round: nodes,
         lr: 0.15,
         batch_size: 8,
+        train_chunks: 1,
+        train_parallel: true,
         eval_fraction: 0.5,
         seed,
         hyper: TangleHyperParams {

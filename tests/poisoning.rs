@@ -34,6 +34,8 @@ fn cfg(defended: bool, seed: u64) -> SimConfig {
         nodes_per_round: nodes,
         lr: 0.15,
         batch_size: 8,
+        train_chunks: 1,
+        train_parallel: true,
         eval_fraction: 0.5,
         seed,
         hyper: TangleHyperParams {
@@ -172,6 +174,8 @@ fn backdoor_attack_installs_and_is_measured() {
         nodes_per_round: 5,
         lr: 0.15,
         batch_size: 8,
+        train_chunks: 1,
+        train_parallel: true,
         eval_fraction: 0.5,
         seed: 21,
         hyper: TangleHyperParams {

@@ -31,6 +31,8 @@ fn cfg(seed: u64) -> SimConfig {
         lr: 0.15,
         local_epochs: 1,
         batch_size: 8,
+        train_chunks: 1,
+        train_parallel: true,
         eval_fraction: 0.5,
         seed,
         hyper: TangleHyperParams {
